@@ -1,0 +1,41 @@
+//! Criterion bench of the end-to-end model simulations (Figures 8–15):
+//! measures the harness itself and regenerates the headline comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_gpusim::DeviceSpec;
+use pit_models::{run_inference, Framework, ModelConfig};
+use pit_tensor::DType;
+use pit_workloads::DatasetSpec;
+
+fn bench_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_switch_simulation");
+    group.sample_size(10);
+    let lens = DatasetSpec::mnli().sample_lengths(32, 1);
+    let cfg = ModelConfig::switch_transformer(128);
+    for fw in [Framework::PyTorch, Framework::DeepSpeed, Framework::Pit] {
+        group.bench_with_input(BenchmarkId::new("framework", fw.name()), &fw, |bench, &f| {
+            bench.iter(|| {
+                run_inference(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F16, f, 1, 1)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_bert_simulation");
+    group.sample_size(10);
+    let cfg = ModelConfig::bert_base();
+    let lens = DatasetSpec::mnli().sample_lengths(32, 2);
+    for fw in [Framework::PyTorch, Framework::Pit] {
+        group.bench_with_input(BenchmarkId::new("framework", fw.name()), &fw, |bench, &f| {
+            bench.iter(|| {
+                run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, f, 1, 2)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch, bench_bert);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench of Algorithm-1 kernel selection (§5.5: the paper
+//! reports 30–100 µs per online search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pit_core::selection::select_kernel;
+use pit_gpusim::{CostModel, DeviceSpec};
+use pit_kernels::tiles::TileDb;
+use pit_sparse::generate;
+use pit_tensor::DType;
+
+fn bench_selection(c: &mut Criterion) {
+    let cost = CostModel::new(DeviceSpec::v100_32gb());
+    let db = TileDb::profile(&cost);
+    let mut group = c.benchmark_group("micro_tile_online_search");
+    for (gh, gw, sp) in [(2usize, 1usize, 0.95), (8, 1, 0.99), (32, 1, 0.95)] {
+        let mask = generate::granular_random(4096, 4096, gh, gw, sp, 9);
+        group.bench_with_input(
+            BenchmarkId::new("table3_search", format!("({gh},{gw})@{:.0}%", sp * 100.0)),
+            &mask,
+            |bench, m| {
+                bench.iter(|| select_kernel(&cost, &db, std::slice::from_ref(m), 4096, DType::F32));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

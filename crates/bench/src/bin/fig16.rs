@@ -1,0 +1,4 @@
+//! Regenerates fig16 of the paper (see `pit_bench::figures`).
+fn main() {
+    print!("{}", pit_bench::figures::fig16());
+}

@@ -1,0 +1,33 @@
+//! Runs every figure/table regenerator and writes results under `results/`.
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("create results dir");
+    let all: &[(&str, fn() -> String)] = &[
+        ("fig03a", pit_bench::figures::fig03a),
+        ("fig03b", pit_bench::figures::fig03b),
+        ("fig08", pit_bench::figures::fig08),
+        ("fig09", pit_bench::figures::fig09),
+        ("fig10", pit_bench::figures::fig10),
+        ("fig11", pit_bench::figures::fig11),
+        ("fig12", pit_bench::figures::fig12),
+        ("fig13", pit_bench::figures::fig13),
+        ("fig14", pit_bench::figures::fig14),
+        ("fig15", pit_bench::figures::fig15),
+        ("fig16", pit_bench::figures::fig16),
+        ("fig17", pit_bench::figures::fig17),
+        ("fig18", pit_bench::figures::fig18),
+        ("fig19", pit_bench::figures::fig19),
+        ("fig20", pit_bench::figures::fig20),
+        ("table3", pit_bench::figures::table3),
+        ("detector_wallclock", pit_bench::figures::detector_wallclock),
+    ];
+    for (name, f) in all {
+        let rendered = f();
+        println!("{rendered}");
+        fs::write(out_dir.join(format!("{name}.txt")), &rendered).expect("write result");
+        eprintln!("wrote results/{name}.txt");
+    }
+}

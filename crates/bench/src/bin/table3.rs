@@ -1,0 +1,4 @@
+//! Regenerates table3 of the paper (see `pit_bench::figures`).
+fn main() {
+    print!("{}", pit_bench::figures::table3());
+}

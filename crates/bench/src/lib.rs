@@ -1,0 +1,16 @@
+//! Benchmark harness: one regenerator per paper figure/table.
+//!
+//! Every function in [`figures`] recomputes the rows/series of one figure
+//! or table from the paper's evaluation (§5) and renders them as a text
+//! table. The binaries in `src/bin/` are thin wrappers (`fig03a` …
+//! `table3`, plus `run_all` which writes everything under `results/`).
+//!
+//! Absolute numbers come from the analytical device model (`DESIGN.md` §2)
+//! — the reproduction targets the *shape* of each result: orderings,
+//! rough factors and crossover locations. `EXPERIMENTS.md` records
+//! paper-vs-measured for every experiment.
+
+pub mod figures;
+pub mod table;
+
+pub use table::Table;

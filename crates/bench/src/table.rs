@@ -1,0 +1,131 @@
+//! Minimal fixed-width text tables for figure output.
+
+/// A text table with a title, caption and aligned columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    caption: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column header.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            caption: String::new(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets an explanatory caption printed under the title.
+    pub fn caption(mut self, text: &str) -> Self {
+        self.caption = text.to_string();
+        self
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.caption.is_empty() {
+            out.push_str(&format!("{}\n", self.caption));
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a latency in ms with adaptive precision.
+pub fn ms(v: f64) -> String {
+    let v = if v.abs() < 5e-4 { 0.0 } else { v };
+    if v.is_nan() {
+        "OOM".to_string()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a memory figure in GiB, or "OOM".
+pub fn gib(v: f64, oom: bool) -> String {
+    if oom {
+        format!("OOM({v:.0})")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long_header"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(123.4), "123");
+        assert_eq!(ms(12.34), "12.3");
+        assert_eq!(ms(0.1234), "0.123");
+        assert_eq!(ms(f64::NAN), "OOM");
+        assert_eq!(gib(12.34, false), "12.3");
+        assert_eq!(gib(85.0, true), "OOM(85)");
+    }
+}

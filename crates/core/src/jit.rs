@@ -1,0 +1,139 @@
+//! The JIT kernel cache.
+//!
+//! The paper's implementation keeps a database of ~1,500 pre-generated
+//! sparse kernels and a profiled-performance look-up table; at runtime the
+//! selector consults it instead of re-searching (§4). This cache plays that
+//! role: selection results are memoised per operator signature, and the
+//! §5.6 study's conclusion (sparsity *patterns* almost never repeat, so
+//! per-pattern kernel caching is useless, while per-*shape* rule caching is
+//! cheap and always hits) is reflected in the key: shapes and dtype, never
+//! the pattern bits.
+
+use crate::selection::SelectedKernel;
+use parking_lot::RwLock;
+use pit_tensor::DType;
+use std::collections::HashMap;
+
+/// Cache key: the operator signature (never the sparsity pattern).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Operator kind, e.g. `"spmm"`, `"sdd"`, `"moe"`.
+    pub op: &'static str,
+    /// Problem dimensions `[m, k, n]` (or the op's equivalent).
+    pub dims: [usize; 3],
+    /// Element type.
+    pub dtype: DType,
+}
+
+/// Thread-safe memoisation of Algorithm-1 selections.
+#[derive(Debug, Default)]
+pub struct JitCache {
+    map: RwLock<HashMap<KernelKey, SelectedKernel>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl JitCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a selection, running `select` and caching on a miss.
+    pub fn get_or_select(
+        &self,
+        key: KernelKey,
+        select: impl FnOnce() -> SelectedKernel,
+    ) -> SelectedKernel {
+        if let Some(hit) = self.map.read().get(&key) {
+            *self.hits.write() += 1;
+            return hit.clone();
+        }
+        *self.misses.write() += 1;
+        let selected = select();
+        self.map.write().insert(key, selected.clone());
+        selected
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        *self.hits.read()
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        *self.misses.read()
+    }
+
+    /// Number of cached selections.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn dummy_selection(cost: f64) -> SelectedKernel {
+        SelectedKernel {
+            rule: None,
+            predicted_cost_s: cost,
+            dense_cost_s: cost,
+            after_cover_sparsity: 0.0,
+            search_time: Duration::ZERO,
+        }
+    }
+
+    fn key(m: usize) -> KernelKey {
+        KernelKey {
+            op: "spmm",
+            dims: [m, 64, 64],
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn caches_by_signature() {
+        let cache = JitCache::new();
+        let a = cache.get_or_select(key(32), || dummy_selection(1.0));
+        let b = cache.get_or_select(key(32), || panic!("must not re-select"));
+        assert_eq!(a.predicted_cost_s, b.predicted_cost_s);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_shapes_are_different_entries() {
+        let cache = JitCache::new();
+        cache.get_or_select(key(32), || dummy_selection(1.0));
+        cache.get_or_select(key(64), || dummy_selection(2.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(JitCache::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    c.get_or_select(key(i % 4), || dummy_selection(t as f64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits() + cache.misses(), 800);
+    }
+}

@@ -1,0 +1,40 @@
+//! The PIT compiler core — the paper's primary contribution.
+//!
+//! PIT ("Permutation Invariant Transformation", SOSP '23) executes
+//! dynamically-sparse deep-learning operators by covering non-zero data
+//! with transaction-sized **micro-tiles** and merging those micro-tiles
+//! along a **PIT-axis** into GPU-efficient dense computation tiles, at
+//! runtime, with mathematically-guaranteed equivalence (Theorem 1).
+//!
+//! Pipeline (paper Figure 5):
+//!
+//! 1. [`microtile`]: derive the feasible *(PIT-axis, micro-tile, dense
+//!    tile)* rules for an operator from its tensor expression.
+//! 2. [`selection`]: Algorithm 1 — pick the rule with the lowest predicted
+//!    cost `num_covering_tiles × profiled_tile_cost`, with a seamless dense
+//!    fallback.
+//! 3. [`detector`]: online, *unordered* sparsity detection — a parallel
+//!    scan appends the coordinates of non-zero micro-tiles to an index via
+//!    atomic slot reservation. Permutation invariance is exactly what
+//!    makes the unordered (and therefore cheap) construction legal.
+//! 4. [`primitives`]: `SRead`/`SWrite` gather/scatter micro-tiles between
+//!    the original (dense-layout) buffers and dense computation tiles.
+//! 5. [`kernels`]: the generated sparse kernels (Figure 7's template:
+//!    `SRead → DenseTileImpl → SWrite`) for the m-axis, k-axis and
+//!    output-sparse cases, each computing the real result and reporting
+//!    modelled latency.
+//! 6. [`ops`]: high-level operator API (sparse linear layers, SDD/DSD
+//!    attention products, MoE expert GEMM) used by the model layer, with a
+//!    [`jit`] cache standing in for the paper's kernel database.
+
+pub mod detector;
+pub mod jit;
+pub mod kernels;
+pub mod microtile;
+pub mod ops;
+pub mod primitives;
+pub mod selection;
+
+pub use detector::{detect_mask, detect_tensor, MicroTileIndex};
+pub use microtile::{MatmulAxis, MicroTile, PitRule, SparseLayout};
+pub use selection::{select_kernel, SelectedKernel};

@@ -1,0 +1,152 @@
+//! Per-run simulation context: an ordered ledger of operator executions.
+
+use crate::cost::CostModel;
+use crate::device::DeviceSpec;
+use crate::memory::MemoryTracker;
+use crate::stats::KernelStats;
+use serde::Serialize;
+
+/// One recorded operator execution.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpRecord {
+    /// Operator name, e.g. `"moe.expert_gemm"`.
+    pub name: String,
+    /// Kernel statistics including modelled latency.
+    pub stats: KernelStats,
+}
+
+/// A simulation run: device, cost model, memory tracker and the ledger of
+/// everything executed, in order.
+///
+/// # Examples
+///
+/// ```
+/// use pit_gpusim::{DeviceSpec, SimContext, KernelStats};
+/// let mut ctx = SimContext::new(DeviceSpec::a100_80gb());
+/// ctx.record("warmup", KernelStats { latency_s: 1e-3, ..Default::default() });
+/// assert_eq!(ctx.total_latency_ms(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimContext {
+    cost: CostModel,
+    memory: MemoryTracker,
+    records: Vec<OpRecord>,
+}
+
+impl SimContext {
+    /// Creates a fresh context for a device.
+    pub fn new(device: DeviceSpec) -> Self {
+        let memory = MemoryTracker::new(&device);
+        SimContext {
+            cost: CostModel::new(device),
+            memory,
+            records: Vec::new(),
+        }
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The device spec.
+    pub fn device(&self) -> &DeviceSpec {
+        self.cost.device()
+    }
+
+    /// The memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Mutable access to the memory tracker.
+    pub fn memory_mut(&mut self) -> &mut MemoryTracker {
+        &mut self.memory
+    }
+
+    /// Appends an operator execution to the ledger.
+    pub fn record(&mut self, name: impl Into<String>, stats: KernelStats) {
+        self.records.push(OpRecord {
+            name: name.into(),
+            stats,
+        });
+    }
+
+    /// The ledger, in execution order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Total modelled latency across all records (seconds).
+    pub fn total_latency_s(&self) -> f64 {
+        self.records.iter().map(|r| r.stats.latency_s).sum()
+    }
+
+    /// Total modelled latency in milliseconds.
+    pub fn total_latency_ms(&self) -> f64 {
+        self.total_latency_s() * 1e3
+    }
+
+    /// Total latency of records whose name contains `needle` (seconds);
+    /// used to split out e.g. conversion overhead ("PyTorch-S Convert").
+    pub fn latency_of_s(&self, needle: &str) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.name.contains(needle))
+            .map(|r| r.stats.latency_s)
+            .sum()
+    }
+
+    /// Aggregated statistics over the whole run.
+    pub fn total_stats(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for r in &self.records {
+            total.merge_seq(&r.stats);
+        }
+        total
+    }
+
+    /// Clears the ledger (memory tracker state is kept).
+    pub fn reset_records(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_ms(ms: f64) -> KernelStats {
+        KernelStats {
+            latency_s: ms * 1e-3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn total_latency_sums_records() {
+        let mut ctx = SimContext::new(DeviceSpec::v100_32gb());
+        ctx.record("a", stats_ms(1.0));
+        ctx.record("b", stats_ms(2.0));
+        assert!((ctx.total_latency_ms() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_of_filters_by_name() {
+        let mut ctx = SimContext::new(DeviceSpec::v100_32gb());
+        ctx.record("convert.index", stats_ms(1.0));
+        ctx.record("gemm", stats_ms(2.0));
+        ctx.record("convert.format", stats_ms(0.5));
+        assert!((ctx.latency_of_s("convert") * 1e3 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_keeps_memory() {
+        let mut ctx = SimContext::new(DeviceSpec::v100_32gb());
+        ctx.memory_mut().alloc(1024);
+        ctx.record("a", stats_ms(1.0));
+        ctx.reset_records();
+        assert_eq!(ctx.records().len(), 0);
+        assert_eq!(ctx.memory().current_bytes(), 1024);
+    }
+}

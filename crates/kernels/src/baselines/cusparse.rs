@@ -1,0 +1,139 @@
+//! cuSPARSE-style CSR SpMM baseline.
+//!
+//! Structure modelled: scalar-row CSR×dense SpMM. Each non-zero performs a
+//! gather of one `B` row segment with poor cross-row reuse, so throughput is
+//! a small fraction of peak — the library's own documentation and the
+//! Sputnik paper (SC '20) both report cuSPARSE at a few percent of dense
+//! GEMM throughput on deep-learning sparsity (unstructured, 70–99%).
+
+use crate::KernelOutput;
+use pit_gpusim::{CostModel, KernelStats};
+use pit_sparse::formats::{convert_cost, Csr};
+use pit_tensor::{DType, Tensor, TensorError};
+
+/// Fraction of peak FLOP rate a scalar CSR SpMM sustains on DL sparsity.
+pub const CUSPARSE_EFFICIENCY: f64 = 0.02;
+
+/// Effective reuse factor of `B` traffic through L2 for scalar CSR SpMM.
+pub const CUSPARSE_B_REUSE: f64 = 4.0;
+
+/// Computes `C = A_csr × B` with the cuSPARSE-style execution model.
+pub fn spmm(
+    cost: &CostModel,
+    a: &Csr,
+    b: &Tensor,
+    dtype: DType,
+) -> Result<KernelOutput, TensorError> {
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
+    }
+    if a.cols != b.shape().dim(0) {
+        return Err(TensorError::ContractionMismatch {
+            lhs_inner: a.cols,
+            rhs_inner: b.shape().dim(0),
+        });
+    }
+    let n = b.shape().dim(1);
+    let mut out = vec![0.0f32; a.rows * n];
+    for r in 0..a.rows {
+        for i in a.indptr[r]..a.indptr[r + 1] {
+            let col = a.indices[i];
+            let v = a.values[i];
+            let brow = &b.data()[col * n..(col + 1) * n];
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += v * bv;
+            }
+        }
+    }
+    let stats = spmm_cost_only(cost, a.rows, a.cols, n, a.nnz(), dtype);
+    Ok(KernelOutput {
+        tensor: Tensor::from_vec(out, [a.rows, n])?,
+        stats,
+    })
+}
+
+/// Analytic-only SpMM cost for the cuSPARSE execution model.
+pub fn spmm_cost_only(
+    cost: &CostModel,
+    m: usize,
+    _k: usize,
+    n: usize,
+    nnz: usize,
+    dtype: DType,
+) -> KernelStats {
+    let elem = dtype.size_bytes();
+    let flops = 2.0 * nnz as f64 * n as f64;
+    let peak = cost.device().flops_per_sm(false) * cost.device().num_sms as f64;
+    let compute = flops / (peak * CUSPARSE_EFFICIENCY);
+    let traffic = nnz as f64 * (4.0 + elem as f64)
+        + nnz as f64 * n as f64 * elem as f64 / CUSPARSE_B_REUSE
+        + (m * n * elem) as f64;
+    let memory = traffic / cost.device().bw_total();
+    KernelStats {
+        flops_useful: flops,
+        flops_executed: flops,
+        bytes_read: traffic - (m * n * elem) as f64,
+        bytes_written: (m * n * elem) as f64,
+        tiles_executed: 0,
+        latency_s: compute.max(memory) + cost.device().kernel_launch_s,
+    }
+}
+
+/// Conversion (dense → CSR) latency for dynamic-sparsity use: the paper's
+/// "PyTorch-S Convert" bar when cuSPARSE is the backend.
+pub fn conversion_cost(cost: &CostModel, rows: usize, cols: usize, nnz: usize, dtype: DType) -> f64 {
+    convert_cost::csr_via_nonzero_sort(cost, rows, cols, nnz, dtype.size_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pit_gpusim::DeviceSpec;
+    use pit_sparse::generate;
+    use pit_tensor::ops;
+
+    #[test]
+    fn spmm_matches_dense_reference() {
+        let cost = CostModel::new(DeviceSpec::v100_32gb());
+        let mask = generate::granular_random(48, 64, 1, 1, 0.8, 1);
+        let a = mask.apply(&Tensor::random([48, 64], 2));
+        let b = Tensor::random([64, 32], 3);
+        let csr = Csr::from_dense(&a);
+        let out = spmm(&cost, &csr, &b, DType::F32).unwrap();
+        assert!(out
+            .tensor
+            .allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
+    }
+
+    #[test]
+    fn latency_scales_with_nnz() {
+        let cost = CostModel::new(DeviceSpec::v100_32gb());
+        let lo = spmm_cost_only(&cost, 4096, 4096, 4096, 100_000, DType::F32);
+        let hi = spmm_cost_only(&cost, 4096, 4096, 4096, 1_000_000, DType::F32);
+        assert!(hi.latency_s > 5.0 * lo.latency_s);
+    }
+
+    #[test]
+    fn dense_like_nnz_is_slower_than_dense_gemm() {
+        // At 50% density, cuSPARSE should lose badly to a dense GEMM —
+        // Figure 3b's observation that conversion+sparse execution can be
+        // worse than just computing densely.
+        let cost = CostModel::new(DeviceSpec::v100_32gb());
+        let db = crate::tiles::TileDb::profile(&cost);
+        let sparse = spmm_cost_only(&cost, 4096, 4096, 4096, 8 * 1024 * 1024, DType::F32);
+        let dense = crate::baselines::cublas::gemm_cost_only(&cost, &db, 4096, 4096, 4096, DType::F32);
+        assert!(sparse.latency_s > dense.latency_s);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let cost = CostModel::new(DeviceSpec::v100_32gb());
+        let a = Csr::from_dense(&Tensor::random([4, 5], 1));
+        let b = Tensor::random([6, 3], 2);
+        assert!(spmm(&cost, &a, &b, DType::F32).is_err());
+    }
+}

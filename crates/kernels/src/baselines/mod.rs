@@ -1,0 +1,13 @@
+//! Baseline dense and sparse libraries the paper compares against.
+//!
+//! Each submodule re-implements the *algorithmic structure* of one baseline
+//! (how much work it executes, what memory it touches, what conversions it
+//! needs) on top of the shared cost model, plus a real host computation of
+//! the result for correctness testing. See `DESIGN.md` §2 for why this
+//! substitution preserves the comparisons the paper makes.
+
+pub mod blocksparse;
+pub mod cublas;
+pub mod cusparse;
+pub mod sparta;
+pub mod sputnik;

@@ -1,0 +1,36 @@
+//! Dense tiled kernels and baseline sparse libraries.
+//!
+//! This crate is the "kernel zoo" layer of the reproduction:
+//!
+//! - [`tiles`]: the database of dense computation tiles with their
+//!   offline-profiled costs (the paper's per-operator, per-GPU profiling,
+//!   §3.2 "the offline profiling ... is very lightweight");
+//! - [`dense`]: real tiled GEMM/elementwise kernels that both compute the
+//!   numeric result on the host and report a modelled GPU latency;
+//! - [`baselines`]: re-implementations of the sparse libraries the paper
+//!   compares against — cuSPARSE-style CSR SpMM, Sputnik-style fine-grained
+//!   SpMM, OpenAI/Triton-style 32×32 block sparse, SparTA-style
+//!   ahead-of-time specialised kernels, and a cuBLAS-style dense baseline;
+//! - [`wmma`]: Tensor-Core tile kernels with the hardware's fixed fragment
+//!   shapes (the constraint PIT loosens in Figure 17).
+//!
+//! Every kernel returns a [`KernelOutput`]: the actual `f32` result (for
+//! correctness tests against `pit_tensor::ops`) plus [`KernelStats`] with
+//! the modelled latency, executed FLOPs and coverage waste.
+
+pub mod baselines;
+pub mod dense;
+pub mod tiles;
+pub mod wmma;
+
+use pit_gpusim::KernelStats;
+use pit_tensor::Tensor;
+
+/// Result of executing one simulated kernel.
+#[derive(Debug, Clone)]
+pub struct KernelOutput {
+    /// The numeric result.
+    pub tensor: Tensor,
+    /// Execution statistics including modelled latency.
+    pub stats: KernelStats,
+}

@@ -1,0 +1,343 @@
+//! The analytic execution engine: frameworks, operator recording, memory.
+
+use pit_gpusim::{CostModel, DeviceSpec, KernelStats, SimContext};
+use pit_kernels::baselines::cublas;
+use pit_kernels::dense;
+use pit_kernels::tiles::TileDb;
+use pit_tensor::DType;
+
+/// Execution strategy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// Stock PyTorch: padded batches, sequential expert loop.
+    PyTorch,
+    /// PyTorch with the best sparse backend, converting formats per batch.
+    PyTorchS,
+    /// Tutel MoE: einsum one-hot dispatch, capacity = max expert load.
+    Tutel,
+    /// DeepSpeed inference: fused kernels, scatter dispatch, padded experts.
+    DeepSpeed,
+    /// MegaBlocks: block-sparse grouped expert GEMM (fp16 only).
+    MegaBlocks,
+    /// TurboTransformers: length-bucketed re-batching (BERT only).
+    TurboTransformer,
+    /// Longformer-S: pattern-specialised sparse attention (Longformer only).
+    LongformerS,
+    /// TVM/Ansor: ahead-of-time tuned dense kernels.
+    Tvm,
+    /// PIT, all optimisations on.
+    Pit,
+    /// PIT without the sparse-MoE optimisation (Figure 8 ablation).
+    PitNoSparseMoe,
+    /// PIT without the ReLU activation-sparsity optimisation (Figure 10
+    /// ablation).
+    PitNoActivation,
+}
+
+impl Framework {
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::PyTorch => "PyTorch",
+            Framework::PyTorchS => "PyTorch-S",
+            Framework::Tutel => "Tutel",
+            Framework::DeepSpeed => "DeepSpeed",
+            Framework::MegaBlocks => "MegaBlocks",
+            Framework::TurboTransformer => "TurboTransformer",
+            Framework::LongformerS => "Longformer-S",
+            Framework::Tvm => "TVM",
+            Framework::Pit => "PIT",
+            Framework::PitNoSparseMoe => "PIT w/o Sparse MoE",
+            Framework::PitNoActivation => "PIT w/o activation",
+        }
+    }
+
+    /// Whether the framework is a PIT variant (padding-free token GEMMs).
+    pub fn is_pit(self) -> bool {
+        matches!(
+            self,
+            Framework::Pit | Framework::PitNoSparseMoe | Framework::PitNoActivation
+        )
+    }
+
+    /// Whether elementwise chains are fused into single kernels (reduces
+    /// both memory passes and activation footprint).
+    pub fn fused_elementwise(self) -> bool {
+        matches!(
+            self,
+            Framework::DeepSpeed | Framework::TurboTransformer | Framework::Tvm
+        )
+    }
+}
+
+/// Host-side time PyTorch spends per expert in the sequential MoE loop
+/// (Python iteration, `index_select`, two kernel launches; order of
+/// magnitude from profiling reports of naive MoE loops).
+pub const PYTORCH_PER_EXPERT_HOST_S: f64 = 0.2e-3;
+
+/// The analytic execution engine for one run.
+#[derive(Debug)]
+pub struct Engine {
+    /// Simulation ledger (latency records + memory tracker).
+    pub ctx: SimContext,
+    /// Profiled tile database for the device.
+    pub db: TileDb,
+    /// Precision under evaluation.
+    pub dtype: DType,
+    /// Execution strategy under evaluation.
+    pub framework: Framework,
+    /// Number of identical devices (tensor-parallel degree); latencies of
+    /// GEMM-class work divide across devices, memory divides too, and each
+    /// layer pays one all-reduce.
+    pub devices: usize,
+    /// Accumulated latency of GEMM-class records (used by the training
+    /// simulation: backward ≈ 2× the forward GEMM time).
+    pub gemm_time_s: f64,
+}
+
+/// NVLink all-reduce bus bandwidth per device pair (bytes/s), for the
+/// multi-GPU OPT runs.
+const NVLINK_BW: f64 = 150.0e9;
+
+impl Engine {
+    /// Creates an engine on one device.
+    pub fn new(device: DeviceSpec, dtype: DType, framework: Framework) -> Self {
+        let ctx = SimContext::new(device);
+        let db = TileDb::profile(ctx.cost());
+        Engine {
+            ctx,
+            db,
+            dtype,
+            framework,
+            devices: 1,
+            gemm_time_s: 0.0,
+        }
+    }
+
+    /// Sets the tensor-parallel degree.
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices.max(1);
+        self
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        self.ctx.cost()
+    }
+
+    /// Element size in bytes for the current dtype.
+    pub fn elem(&self) -> usize {
+        self.dtype.size_bytes()
+    }
+
+    /// Records a dense GEMM `[m,k]×[k,n]` through the library's best tile,
+    /// split across the tensor-parallel devices.
+    pub fn gemm(&mut self, label: &str, m: usize, k: usize, n: usize) {
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let mut stats =
+            cublas::gemm_cost_only(self.cost(), &self.db, m, k.div_ceil(self.devices), n, self.dtype);
+        stats.latency_s = stats.latency_s.max(self.cost().device().kernel_launch_s);
+        self.gemm_time_s += stats.latency_s;
+        self.ctx.record(label, stats);
+    }
+
+    /// Records GEMM-class work given raw FLOPs and touched bytes (used for
+    /// attention score/context products whose shapes are per-sequence).
+    /// Latency is `flops / sustained-GEMM-throughput`, bounded below by the
+    /// memory time of the touched bytes.
+    pub fn gemm_flops(&mut self, label: &str, flops: f64, bytes: f64) {
+        if flops <= 0.0 {
+            return;
+        }
+        let reference =
+            cublas::gemm_cost_only(self.cost(), &self.db, 2048, 2048, 2048, self.dtype);
+        let throughput = reference.flops_executed / reference.latency_s;
+        let d = self.devices as f64;
+        let compute = flops / throughput / d;
+        let memory = bytes / self.cost().device().bw_total() / d;
+        let stats = KernelStats {
+            flops_useful: flops,
+            flops_executed: flops,
+            bytes_read: bytes,
+            bytes_written: 0.0,
+            tiles_executed: 0,
+            latency_s: compute.max(memory) + self.cost().device().kernel_launch_s,
+        };
+        self.gemm_time_s += stats.latency_s;
+        self.ctx.record(label, stats);
+    }
+
+    /// Records a GEMM whose reduction axis is cut to `k_frac` of `k` by
+    /// sparsity coverage (PIT's k-axis merging), including the gather
+    /// factor.
+    pub fn gemm_k_covered(&mut self, label: &str, m: usize, k: usize, n: usize, k_frac: f64) {
+        let k_eff = ((k as f64 * k_frac).ceil() as usize).max(1);
+        let mut stats = cublas::gemm_cost_only(
+            self.cost(),
+            &self.db,
+            m,
+            k_eff.div_ceil(self.devices),
+            n,
+            self.dtype,
+        );
+        stats.latency_s *= self.cost().gather_factor();
+        stats.flops_useful = 2.0 * (m * n) as f64 * (k as f64 * k_frac);
+        self.gemm_time_s += stats.latency_s;
+        self.ctx.record(label, stats);
+    }
+
+    /// Records an elementwise kernel over `numel` elements with `n_inputs`
+    /// read streams, honouring the framework's fusion behaviour.
+    pub fn elementwise(&mut self, label: &str, numel: usize, n_inputs: usize) {
+        if numel == 0 {
+            return;
+        }
+        let mut stats = dense::elementwise_cost(
+            self.cost(),
+            numel.div_ceil(self.devices),
+            self.dtype,
+            n_inputs,
+        );
+        if self.framework.fused_elementwise() {
+            // Fusion halves the number of memory round-trips of an
+            // elementwise chain.
+            stats.latency_s = stats.latency_s * 0.5 + self.cost().device().kernel_launch_s * 0.5;
+        }
+        self.ctx.record(label, stats);
+    }
+
+    /// Records a softmax over `rows × cols`.
+    pub fn softmax(&mut self, label: &str, rows: usize, cols: usize) {
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        let stats =
+            dense::softmax_cost(self.cost(), rows.div_ceil(self.devices), cols, self.dtype);
+        self.ctx.record(label, stats);
+    }
+
+    /// Records a LayerNorm over `rows × cols`.
+    pub fn layernorm(&mut self, label: &str, rows: usize, cols: usize) {
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        let stats =
+            dense::layernorm_cost(self.cost(), rows.div_ceil(self.devices), cols, self.dtype);
+        self.ctx.record(label, stats);
+    }
+
+    /// Records a fixed host-side overhead (Python loops, driver work).
+    pub fn host_overhead(&mut self, label: &str, seconds: f64) {
+        self.ctx.record(
+            label,
+            KernelStats {
+                latency_s: seconds,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Records the per-layer tensor-parallel all-reduce of `bytes`.
+    pub fn allreduce(&mut self, label: &str, bytes: f64) {
+        if self.devices <= 1 {
+            return;
+        }
+        // Ring all-reduce: 2 * (d-1)/d * bytes over the link.
+        let d = self.devices as f64;
+        let latency = 2.0 * (d - 1.0) / d * bytes / NVLINK_BW + 10.0e-6;
+        self.ctx.record(
+            label,
+            KernelStats {
+                latency_s: latency,
+                bytes_read: bytes,
+                bytes_written: bytes,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Allocates persistent (whole-run) memory such as weights; divided
+    /// across tensor-parallel devices. Returns nothing — persistent
+    /// allocations live until the run ends.
+    pub fn alloc_persistent(&mut self, bytes: usize) {
+        let per_device = bytes.div_ceil(self.devices);
+        self.ctx.memory_mut().alloc(per_device);
+    }
+
+    /// Allocates a retained buffer (framework workspaces the caching
+    /// allocator never returns, e.g. per-layer dispatch buffers).
+    pub fn alloc_retained(&mut self, bytes: usize) {
+        let per_device = bytes.div_ceil(self.devices);
+        self.ctx.memory_mut().alloc(per_device);
+    }
+
+    /// Tracks a transient peak: allocates, immediately frees, so only the
+    /// high-water mark is affected.
+    pub fn transient_peak(&mut self, bytes: usize) {
+        let per_device = bytes.div_ceil(self.devices);
+        let id = self.ctx.memory_mut().alloc(per_device);
+        self.ctx.memory_mut().free(id);
+    }
+
+    /// Total modelled latency so far (ms).
+    pub fn latency_ms(&self) -> f64 {
+        self.ctx.total_latency_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(fw: Framework) -> Engine {
+        Engine::new(DeviceSpec::a100_80gb(), DType::F32, fw)
+    }
+
+    #[test]
+    fn gemm_records_latency() {
+        let mut e = engine(Framework::PyTorch);
+        e.gemm("test", 1024, 1024, 1024);
+        assert!(e.latency_ms() > 0.0);
+        assert_eq!(e.ctx.records().len(), 1);
+    }
+
+    #[test]
+    fn k_coverage_reduces_latency() {
+        let mut a = engine(Framework::Pit);
+        let mut b = engine(Framework::Pit);
+        a.gemm_k_covered("cov", 4096, 4096, 4096, 0.1);
+        b.gemm("full", 4096, 4096, 4096);
+        assert!(a.latency_ms() < b.latency_ms());
+    }
+
+    #[test]
+    fn fusion_halves_elementwise() {
+        let mut fused = engine(Framework::DeepSpeed);
+        let mut plain = engine(Framework::PyTorch);
+        fused.elementwise("e", 1 << 24, 1);
+        plain.elementwise("e", 1 << 24, 1);
+        assert!(fused.latency_ms() < plain.latency_ms());
+    }
+
+    #[test]
+    fn tensor_parallel_divides_gemm_and_adds_allreduce() {
+        let mut single = engine(Framework::PyTorch);
+        let mut multi = Engine::new(DeviceSpec::v100_32gb(), DType::F32, Framework::PyTorch)
+            .with_devices(8);
+        single.gemm("g", 4096, 8192, 4096);
+        multi.gemm("g", 4096, 8192, 4096);
+        assert!(multi.latency_ms() < single.latency_ms());
+        multi.allreduce("ar", 64.0 * 1024.0 * 1024.0);
+        assert!(multi.ctx.latency_of_s("ar") > 0.0);
+    }
+
+    #[test]
+    fn transient_peak_only_moves_high_water_mark() {
+        let mut e = engine(Framework::Pit);
+        e.transient_peak(1 << 30);
+        assert_eq!(e.ctx.memory().current_bytes(), 0);
+        assert_eq!(e.ctx.memory().peak_bytes(), 1 << 30);
+    }
+}

@@ -1,0 +1,464 @@
+//! Tensor-expression IR and PIT-axis inference (paper §3.2, Theorem 1).
+//!
+//! A [`TensorExpr`] is a generalised einsum: every operand (and the output)
+//! maps each of its dimensions to an [`IndexExpr`], which is either a plain
+//! axis variable or a *derived* expression (`x + i`, as in convolution).
+//! Reductions carry a [`ReduceOp`] whose commutativity/associativity is
+//! known.
+//!
+//! Theorem 1 of the paper states: *an axis is a PIT-axis iff all computation
+//! on the axis is commutative and associative.* Concretely:
+//!
+//! - axes participating in derived index expressions are **not** PIT-axes
+//!   (their shuffling changes which elements meet, e.g. conv's `x, i`);
+//! - *spatial* axes (appearing in the output) are PIT-axes — permuting them
+//!   merely permutes the output layout, which `SWrite` undoes;
+//! - *reduction* axes are PIT-axes iff the reduction operator is commutative
+//!   and associative (sum, max, min, prod are; subtraction-like or
+//!   order-sensitive reductions are not).
+
+use crate::error::TensorError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of an axis variable within one [`TensorExpr`].
+pub type AxisId = usize;
+
+/// An index expression for one dimension of an operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// A plain axis variable, e.g. `m` in `A[m, k]`.
+    Var(AxisId),
+    /// The sum of two axis variables, e.g. `x + i` in `A[n, m, x+i, y+j]`.
+    Add(AxisId, AxisId),
+}
+
+impl IndexExpr {
+    /// All axis variables referenced by this expression.
+    pub fn vars(&self) -> Vec<AxisId> {
+        match self {
+            IndexExpr::Var(a) => vec![*a],
+            IndexExpr::Add(a, b) => vec![*a, *b],
+        }
+    }
+
+    /// True if this expression derives a new index from multiple axes.
+    pub fn is_derived(&self) -> bool {
+        matches!(self, IndexExpr::Add(..))
+    }
+}
+
+/// Reduction operator applied along contracted axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum (`+=`), the reduction of matmul and conv.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// A reduction with explicitly-declared algebraic properties, used by
+    /// tests and by operators outside the built-in set.
+    Custom {
+        /// Whether `a op b == b op a`.
+        commutative: bool,
+        /// Whether `(a op b) op c == a op (b op c)`.
+        associative: bool,
+    },
+}
+
+impl ReduceOp {
+    /// Whether the operator is commutative.
+    pub fn is_commutative(self) -> bool {
+        match self {
+            ReduceOp::Sum | ReduceOp::Prod | ReduceOp::Max | ReduceOp::Min => true,
+            ReduceOp::Custom { commutative, .. } => commutative,
+        }
+    }
+
+    /// Whether the operator is associative.
+    pub fn is_associative(self) -> bool {
+        match self {
+            ReduceOp::Sum | ReduceOp::Prod | ReduceOp::Max | ReduceOp::Min => true,
+            ReduceOp::Custom { associative, .. } => associative,
+        }
+    }
+}
+
+/// One operand (input or output) of a tensor expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operand {
+    /// Display name, e.g. `"A"`.
+    pub name: String,
+    /// Index expression for each dimension, outermost first.
+    pub indices: Vec<IndexExpr>,
+}
+
+impl Operand {
+    /// Creates an operand whose dimensions are all plain variables.
+    pub fn simple(name: &str, axes: &[AxisId]) -> Self {
+        Operand {
+            name: name.to_string(),
+            indices: axes.iter().map(|&a| IndexExpr::Var(a)).collect(),
+        }
+    }
+}
+
+/// How an axis participates in an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisKind {
+    /// Appears (as a plain variable) in the output: a layout-only axis.
+    Spatial,
+    /// Contracted away by the reduction operator.
+    Reduction,
+    /// Participates in a derived index expression (`x + i`).
+    Derived,
+}
+
+/// Classification result for one axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisInfo {
+    /// The axis identifier.
+    pub id: AxisId,
+    /// Human-readable name (einsum letter).
+    pub name: String,
+    /// The axis kind.
+    pub kind: AxisKind,
+    /// Whether Theorem 1 admits this axis as a PIT-axis.
+    pub is_pit_axis: bool,
+}
+
+/// A generalised einsum describing one deep-learning operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorExpr {
+    /// Display name of the operator, e.g. `"MatMul"`.
+    pub name: String,
+    /// Axis names, indexed by [`AxisId`].
+    pub axis_names: Vec<String>,
+    /// Input operands.
+    pub inputs: Vec<Operand>,
+    /// Output operand.
+    pub output: Operand,
+    /// The reduction operator for contracted axes.
+    pub reduce: ReduceOp,
+}
+
+impl TensorExpr {
+    /// Number of distinct axis variables.
+    pub fn num_axes(&self) -> usize {
+        self.axis_names.len()
+    }
+
+    /// Classifies every axis per Theorem 1 and returns the results in axis
+    /// order.
+    pub fn classify_axes(&self) -> Vec<AxisInfo> {
+        let mut derived: BTreeSet<AxisId> = BTreeSet::new();
+        for op in self.inputs.iter().chain(std::iter::once(&self.output)) {
+            for ix in &op.indices {
+                if ix.is_derived() {
+                    for v in ix.vars() {
+                        derived.insert(v);
+                    }
+                }
+            }
+        }
+        let mut spatial: BTreeSet<AxisId> = BTreeSet::new();
+        for ix in &self.output.indices {
+            if let IndexExpr::Var(a) = ix {
+                spatial.insert(*a);
+            }
+        }
+        let reduce_ok = self.reduce.is_commutative() && self.reduce.is_associative();
+        (0..self.num_axes())
+            .map(|id| {
+                let kind = if derived.contains(&id) {
+                    AxisKind::Derived
+                } else if spatial.contains(&id) {
+                    AxisKind::Spatial
+                } else {
+                    AxisKind::Reduction
+                };
+                let is_pit_axis = match kind {
+                    AxisKind::Derived => false,
+                    AxisKind::Spatial => true,
+                    AxisKind::Reduction => reduce_ok,
+                };
+                AxisInfo {
+                    id,
+                    name: self.axis_names[id].clone(),
+                    kind,
+                    is_pit_axis,
+                }
+            })
+            .collect()
+    }
+
+    /// The PIT-axes of this operator (Theorem 1), in axis order.
+    pub fn pit_axes(&self) -> Vec<AxisId> {
+        self.classify_axes()
+            .into_iter()
+            .filter(|a| a.is_pit_axis)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Names of the PIT-axes, for display in tables.
+    pub fn pit_axis_names(&self) -> Vec<String> {
+        self.classify_axes()
+            .into_iter()
+            .filter(|a| a.is_pit_axis)
+            .map(|a| a.name)
+            .collect()
+    }
+
+    /// Parses a plain einsum spec such as `"mk,kn->mn"` with a `Sum`
+    /// reduction. Each letter is one axis; derived indices cannot be
+    /// expressed in this notation (use the explicit constructors instead).
+    pub fn parse_einsum(name: &str, spec: &str) -> Result<Self, TensorError> {
+        let (lhs, rhs) = spec
+            .split_once("->")
+            .ok_or_else(|| TensorError::BadEinsum(spec.to_string()))?;
+        if rhs.contains(',') {
+            return Err(TensorError::BadEinsum(spec.to_string()));
+        }
+        let mut axis_names: Vec<String> = Vec::new();
+        let axis_of = |c: char, axis_names: &mut Vec<String>| -> AxisId {
+            let s = c.to_string();
+            if let Some(pos) = axis_names.iter().position(|n| n == &s) {
+                pos
+            } else {
+                axis_names.push(s);
+                axis_names.len() - 1
+            }
+        };
+        let mut inputs = Vec::new();
+        for (i, term) in lhs.split(',').enumerate() {
+            if term.is_empty() {
+                return Err(TensorError::BadEinsum(spec.to_string()));
+            }
+            let axes: Vec<AxisId> = term.chars().map(|c| axis_of(c, &mut axis_names)).collect();
+            inputs.push(Operand::simple(
+                &format!("I{i}"),
+                axes.as_slice(),
+            ));
+        }
+        // Output letters must already exist among the inputs.
+        let mut out_axes = Vec::new();
+        for c in rhs.chars() {
+            let s = c.to_string();
+            match axis_names.iter().position(|n| n == &s) {
+                Some(pos) => out_axes.push(pos),
+                None => return Err(TensorError::BadEinsum(spec.to_string())),
+            }
+        }
+        Ok(TensorExpr {
+            name: name.to_string(),
+            axis_names,
+            inputs,
+            output: Operand::simple("O", &out_axes),
+            reduce: ReduceOp::Sum,
+        })
+    }
+
+    /// `C[p] += A[p, l]` — ReduceSum (Table 1, row 1).
+    pub fn reduce_sum() -> Self {
+        TensorExpr {
+            name: "ReduceSum".into(),
+            axis_names: vec!["p".into(), "l".into()],
+            inputs: vec![Operand::simple("A", &[0, 1])],
+            output: Operand::simple("C", &[0]),
+            reduce: ReduceOp::Sum,
+        }
+    }
+
+    /// `C[p] = A[p] + B[p]` — vector addition (Table 1, row 2).
+    pub fn vector_add() -> Self {
+        TensorExpr {
+            name: "VectorAdd".into(),
+            axis_names: vec!["p".into()],
+            inputs: vec![Operand::simple("A", &[0]), Operand::simple("B", &[0])],
+            output: Operand::simple("C", &[0]),
+            reduce: ReduceOp::Sum,
+        }
+    }
+
+    /// `C[m,n] += A[m,k] * B[k,n]` — matrix multiplication (Table 1, row 3).
+    pub fn matmul() -> Self {
+        TensorExpr {
+            name: "MatMul".into(),
+            axis_names: vec!["m".into(), "n".into(), "k".into()],
+            inputs: vec![Operand::simple("A", &[0, 2]), Operand::simple("B", &[2, 1])],
+            output: Operand::simple("C", &[0, 1]),
+            reduce: ReduceOp::Sum,
+        }
+    }
+
+    /// `C[b,m,n] += A[b,m,k] * B[b,k,n]` — batched matmul (Table 1, row 4).
+    pub fn batch_matmul() -> Self {
+        TensorExpr {
+            name: "BatchMatMul".into(),
+            axis_names: vec!["b".into(), "m".into(), "n".into(), "k".into()],
+            inputs: vec![
+                Operand::simple("A", &[0, 1, 3]),
+                Operand::simple("B", &[0, 3, 2]),
+            ],
+            output: Operand::simple("C", &[0, 1, 2]),
+            reduce: ReduceOp::Sum,
+        }
+    }
+
+    /// `C[n,f,x,y] += A[n,m,x+i,y+j] * B[f,m,i,j]` — 2-D convolution
+    /// (Table 1, row 5). The `x/y/i/j` axes participate in derived index
+    /// expressions and therefore are not PIT-axes.
+    pub fn conv2d() -> Self {
+        // Axis ids: n=0, f=1, x=2, y=3, m=4, i=5, j=6.
+        TensorExpr {
+            name: "Convolution".into(),
+            axis_names: vec![
+                "n".into(),
+                "f".into(),
+                "x".into(),
+                "y".into(),
+                "m".into(),
+                "i".into(),
+                "j".into(),
+            ],
+            inputs: vec![
+                Operand {
+                    name: "A".into(),
+                    indices: vec![
+                        IndexExpr::Var(0),
+                        IndexExpr::Var(4),
+                        IndexExpr::Add(2, 5),
+                        IndexExpr::Add(3, 6),
+                    ],
+                },
+                Operand {
+                    name: "B".into(),
+                    indices: vec![
+                        IndexExpr::Var(1),
+                        IndexExpr::Var(4),
+                        IndexExpr::Var(5),
+                        IndexExpr::Var(6),
+                    ],
+                },
+            ],
+            output: Operand::simple("C", &[0, 1, 2, 3]),
+            reduce: ReduceOp::Sum,
+        }
+    }
+}
+
+impl fmt::Display for TensorExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_operand = |op: &Operand| {
+            let parts: Vec<String> = op
+                .indices
+                .iter()
+                .map(|ix| match ix {
+                    IndexExpr::Var(a) => self.axis_names[*a].clone(),
+                    IndexExpr::Add(a, b) => {
+                        format!("{}+{}", self.axis_names[*a], self.axis_names[*b])
+                    }
+                })
+                .collect();
+            format!("{}[{}]", op.name, parts.join(","))
+        };
+        let ins: Vec<String> = self.inputs.iter().map(fmt_operand).collect();
+        write!(f, "{} += {}", fmt_operand(&self.output), ins.join(" * "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(expr: &TensorExpr) -> Vec<String> {
+        expr.pit_axis_names()
+    }
+
+    #[test]
+    fn table1_reduce_sum_axes() {
+        // Paper Table 1: ReduceSum PIT-axes are p, l.
+        assert_eq!(names(&TensorExpr::reduce_sum()), vec!["p", "l"]);
+    }
+
+    #[test]
+    fn table1_vector_add_axes() {
+        assert_eq!(names(&TensorExpr::vector_add()), vec!["p"]);
+    }
+
+    #[test]
+    fn table1_matmul_axes() {
+        // Paper Table 1: MatMul PIT-axes are m, n, k.
+        assert_eq!(names(&TensorExpr::matmul()), vec!["m", "n", "k"]);
+    }
+
+    #[test]
+    fn table1_batch_matmul_axes() {
+        assert_eq!(names(&TensorExpr::batch_matmul()), vec!["b", "m", "n", "k"]);
+    }
+
+    #[test]
+    fn table1_conv_axes() {
+        // Paper Table 1: Convolution PIT-axes are n, m, f only.
+        let mut got = names(&TensorExpr::conv2d());
+        got.sort();
+        assert_eq!(got, vec!["f", "m", "n"]);
+    }
+
+    #[test]
+    fn conv_derived_axes_classified() {
+        let infos = TensorExpr::conv2d().classify_axes();
+        let kind_of = |n: &str| {
+            infos
+                .iter()
+                .find(|a| a.name == n)
+                .map(|a| a.kind)
+                .unwrap()
+        };
+        assert_eq!(kind_of("x"), AxisKind::Derived);
+        assert_eq!(kind_of("i"), AxisKind::Derived);
+        assert_eq!(kind_of("m"), AxisKind::Reduction);
+        assert_eq!(kind_of("n"), AxisKind::Spatial);
+    }
+
+    #[test]
+    fn non_associative_reduction_blocks_reduction_axes_only() {
+        let mut expr = TensorExpr::matmul();
+        expr.reduce = ReduceOp::Custom {
+            commutative: true,
+            associative: false,
+        };
+        // Spatial axes m, n survive; reduction axis k does not.
+        assert_eq!(names(&expr), vec!["m", "n"]);
+    }
+
+    #[test]
+    fn einsum_parse_matmul_matches_builtin() {
+        let parsed = TensorExpr::parse_einsum("mm", "mk,kn->mn").unwrap();
+        assert_eq!(parsed.pit_axis_names(), vec!["m", "k", "n"]);
+        // Same set as the builtin, modulo discovery order.
+        let mut a = parsed.pit_axis_names();
+        let mut b = TensorExpr::matmul().pit_axis_names();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn einsum_parse_rejects_bad_specs() {
+        assert!(TensorExpr::parse_einsum("x", "mk,kn").is_err());
+        assert!(TensorExpr::parse_einsum("x", "mk,kn->mz").is_err());
+        assert!(TensorExpr::parse_einsum("x", ",->m").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let s = TensorExpr::conv2d().to_string();
+        assert!(s.contains("x+i"), "{s}");
+        assert!(s.contains("C[n,f,x,y]"), "{s}");
+    }
+}

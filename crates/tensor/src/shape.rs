@@ -1,0 +1,170 @@
+//! Shapes and row-major stride computation.
+
+use crate::error::TensorError;
+
+/// The extents of a tensor, one entry per axis.
+///
+/// Shapes are small (rank ≤ 4 throughout this code base) so they are stored
+/// inline in a `Vec` and cloned freely.
+///
+/// # Examples
+///
+/// ```
+/// use pit_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.row_major_strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from per-axis extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Shape of a 2-D matrix.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of axis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// All extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major (C-order) strides, innermost axis contiguous.
+    pub fn row_major_strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index to a linear row-major offset.
+    ///
+    /// Returns an error if `idx` has the wrong rank or any coordinate is out
+    /// of bounds.
+    pub fn linearize(&self, idx: &[usize]) -> Result<usize, TensorError> {
+        if idx.len() != self.0.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.0.len(),
+                actual: idx.len(),
+            });
+        }
+        let strides = self.row_major_strides();
+        let mut off = 0usize;
+        for (axis, (&i, (&extent, &stride))) in idx
+            .iter()
+            .zip(self.0.iter().zip(strides.iter()))
+            .enumerate()
+        {
+            if i >= extent {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    extent,
+                    axis,
+                });
+            }
+            off += i * stride;
+        }
+        Ok(off)
+    }
+
+    /// Returns true if both shapes have identical extents.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.row_major_strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.linearize(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn linearize_round_trip() {
+        let s = Shape::new(vec![3, 5]);
+        let mut seen = vec![false; 15];
+        for r in 0..3 {
+            for c in 0..5 {
+                let off = s.linearize(&[r, c]).unwrap();
+                assert!(!seen[off]);
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn linearize_bounds_checked() {
+        let s = Shape::new(vec![3, 5]);
+        assert!(matches!(
+            s.linearize(&[3, 0]),
+            Err(TensorError::IndexOutOfBounds { axis: 0, .. })
+        ));
+        assert!(matches!(
+            s.linearize(&[0, 0, 0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Per-dataset sequence-length distributions.
+//!
+//! Length statistics below are the published/commonly-reported token-length
+//! summaries of each dataset under a BERT-style subword tokenizer, rounded
+//! to coarse values; they parameterise truncated log-normal samplers. The
+//! experiments depend on the *dispersion* of lengths (padding waste), not
+//! on exact histograms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic stand-in for one evaluation dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as shown in the paper's figures.
+    pub name: &'static str,
+    /// Mean token length.
+    pub mean_len: f64,
+    /// Standard deviation of token length.
+    pub std_len: f64,
+    /// Minimum sampled length.
+    pub min_len: usize,
+    /// Maximum (truncation) length — also the padded batch length.
+    pub max_len: usize,
+}
+
+impl DatasetSpec {
+    /// Samples `batch` sequence lengths, deterministically per seed.
+    pub fn sample_lengths(&self, batch: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed ^ fnv(self.name));
+        // Log-normal via exp of a normal fitted to (mean, std) moments.
+        let m = self.mean_len.max(1.0);
+        let v = self.std_len * self.std_len;
+        let sigma2 = (1.0 + v / (m * m)).ln();
+        let mu = m.ln() - sigma2 / 2.0;
+        let sigma = sigma2.sqrt();
+        (0..batch)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-9..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let len = (mu + sigma * z).exp().round() as usize;
+                len.clamp(self.min_len, self.max_len)
+            })
+            .collect()
+    }
+
+    /// All GLUE tasks used by Figures 11, 15 and 19, in the paper's order.
+    pub fn glue() -> Vec<DatasetSpec> {
+        vec![
+            Self::mnli(),
+            Self::mrpc(),
+            Self::cola(),
+            Self::rte(),
+            Self::qqp(),
+            Self::sst2(),
+            Self::wnli(),
+            Self::qnli(),
+            Self::stsb(),
+        ]
+    }
+
+    /// The twelve BERT datasets of Figure 11 (GLUE + IMDB + Multi-XScience
+    /// + Multi-News).
+    pub fn bert_suite() -> Vec<DatasetSpec> {
+        let mut v = Self::glue();
+        v.push(Self::imdb());
+        v.push(Self::multi_xscience());
+        v.push(Self::multi_news());
+        v
+    }
+
+    /// MNLI (premise+hypothesis pairs, short).
+    pub fn mnli() -> Self {
+        DatasetSpec {
+            name: "mnli",
+            mean_len: 39.0,
+            std_len: 17.0,
+            min_len: 8,
+            max_len: 128,
+        }
+    }
+
+    /// MRPC (sentence pairs).
+    pub fn mrpc() -> Self {
+        DatasetSpec {
+            name: "mrpc",
+            mean_len: 53.0,
+            std_len: 15.0,
+            min_len: 16,
+            max_len: 128,
+        }
+    }
+
+    /// CoLA (single short sentences).
+    pub fn cola() -> Self {
+        DatasetSpec {
+            name: "cola",
+            mean_len: 11.0,
+            std_len: 5.0,
+            min_len: 4,
+            max_len: 64,
+        }
+    }
+
+    /// RTE (premise+hypothesis, longer premises).
+    pub fn rte() -> Self {
+        DatasetSpec {
+            name: "rte",
+            mean_len: 64.0,
+            std_len: 30.0,
+            min_len: 12,
+            max_len: 256,
+        }
+    }
+
+    /// QQP (question pairs).
+    pub fn qqp() -> Self {
+        DatasetSpec {
+            name: "qqp",
+            mean_len: 30.0,
+            std_len: 12.0,
+            min_len: 8,
+            max_len: 128,
+        }
+    }
+
+    /// SST-2 (single sentences).
+    pub fn sst2() -> Self {
+        DatasetSpec {
+            name: "sst2",
+            mean_len: 25.0,
+            std_len: 12.0,
+            min_len: 4,
+            max_len: 64,
+        }
+    }
+
+    /// WNLI (Winograd pairs).
+    pub fn wnli() -> Self {
+        DatasetSpec {
+            name: "wnli",
+            mean_len: 37.0,
+            std_len: 14.0,
+            min_len: 12,
+            max_len: 128,
+        }
+    }
+
+    /// QNLI (question + answer sentence).
+    pub fn qnli() -> Self {
+        DatasetSpec {
+            name: "qnli",
+            mean_len: 51.0,
+            std_len: 22.0,
+            min_len: 12,
+            max_len: 128,
+        }
+    }
+
+    /// STS-B (sentence pairs).
+    pub fn stsb() -> Self {
+        DatasetSpec {
+            name: "stsb",
+            mean_len: 31.0,
+            std_len: 13.0,
+            min_len: 8,
+            max_len: 128,
+        }
+    }
+
+    /// IMDB movie reviews (long documents).
+    pub fn imdb() -> Self {
+        DatasetSpec {
+            name: "imdb",
+            mean_len: 230.0,
+            std_len: 170.0,
+            min_len: 32,
+            max_len: 512,
+        }
+    }
+
+    /// Multi-XScience ("xsci." in Figure 11): multi-document scientific
+    /// summarisation inputs.
+    pub fn multi_xscience() -> Self {
+        DatasetSpec {
+            name: "xsci.",
+            mean_len: 780.0,
+            std_len: 280.0,
+            min_len: 128,
+            max_len: 1024,
+        }
+    }
+
+    /// Multi-News ("news" in Figure 11): multi-document news clusters.
+    pub fn multi_news() -> Self {
+        DatasetSpec {
+            name: "news",
+            mean_len: 1700.0,
+            std_len: 600.0,
+            min_len: 256,
+            max_len: 2048,
+        }
+    }
+
+    /// Alpaca instruction-following pairs (OPT fine-tuning, Figures 10/14).
+    pub fn alpaca() -> Self {
+        DatasetSpec {
+            name: "alpaca",
+            mean_len: 270.0,
+            std_len: 150.0,
+            min_len: 32,
+            max_len: 512,
+        }
+    }
+
+    /// Arxiv long-document corpus (Longformer, Figure 12) at the given
+    /// truncation length.
+    pub fn arxiv(max_len: usize) -> Self {
+        DatasetSpec {
+            name: "arxiv",
+            mean_len: 0.8 * max_len as f64,
+            std_len: 0.25 * max_len as f64,
+            min_len: max_len / 4,
+            max_len,
+        }
+    }
+
+    /// Lakh MIDI (Museformer, Figure 13) at the given truncation length —
+    /// symbolic music sequences fill most of the window.
+    pub fn lmd(max_len: usize) -> Self {
+        DatasetSpec {
+            name: "lmd",
+            mean_len: 0.85 * max_len as f64,
+            std_len: 0.2 * max_len as f64,
+            min_len: max_len / 4,
+            max_len,
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        for spec in DatasetSpec::bert_suite() {
+            let lens = spec.sample_lengths(256, 1);
+            assert!(lens.iter().all(|&l| l >= spec.min_len && l <= spec.max_len));
+        }
+    }
+
+    #[test]
+    fn mean_roughly_matches_spec() {
+        let spec = DatasetSpec::mnli();
+        let lens = spec.sample_lengths(10_000, 2);
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            (mean - spec.mean_len).abs() < spec.mean_len * 0.15,
+            "mean {mean} vs {}",
+            spec.mean_len
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = DatasetSpec::qnli();
+        assert_eq!(spec.sample_lengths(32, 7), spec.sample_lengths(32, 7));
+        assert_ne!(spec.sample_lengths(32, 7), spec.sample_lengths(32, 8));
+    }
+
+    #[test]
+    fn different_datasets_differ() {
+        let a = DatasetSpec::cola().sample_lengths(64, 1);
+        let b = DatasetSpec::multi_news().sample_lengths(64, 1);
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        assert!(mean(&b) > 10.0 * mean(&a));
+    }
+
+    #[test]
+    fn suite_has_twelve_datasets() {
+        assert_eq!(DatasetSpec::bert_suite().len(), 12);
+        assert_eq!(DatasetSpec::glue().len(), 9);
+    }
+}

@@ -1,0 +1,100 @@
+//! The §5.6 sparsity-pattern repetition study.
+//!
+//! A hypothetical alternative to PIT is to memorise frequent sparsity
+//! patterns and reuse per-pattern compiled kernels. Figure 20 invalidates
+//! it: traversing MNLI, barely 0.4% of batches hit a previously-seen
+//! sequence-length pattern, and 0.1% for ReLU activation patterns. This
+//! module reproduces that measurement over the synthetic workloads.
+
+use crate::datasets::DatasetSpec;
+use pit_sparse::generate;
+use std::collections::HashSet;
+
+/// Cumulative hit ratio after each batch: entry `i` is
+/// `hits_so_far / (i + 1)`.
+pub fn cumulative_hit_ratio(hashes: impl IntoIterator<Item = u64>) -> Vec<f64> {
+    let mut seen = HashSet::new();
+    let mut hits = 0usize;
+    let mut out = Vec::new();
+    for (i, h) in hashes.into_iter().enumerate() {
+        if !seen.insert(h) {
+            hits += 1;
+        }
+        out.push(hits as f64 / (i + 1) as f64);
+    }
+    out
+}
+
+/// Pattern hash of one batch's sequence-length pattern (order matters: the
+/// padding mask is positional).
+pub fn seqlen_pattern_hash(lens: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in lens {
+        for b in (l as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs the sequence-length repetition study: traverses `num_batches`
+/// batches of the dataset and returns the cumulative hit-ratio curve.
+pub fn seqlen_study(spec: &DatasetSpec, batch: usize, num_batches: usize, seed: u64) -> Vec<f64> {
+    cumulative_hit_ratio(
+        (0..num_batches).map(|i| seqlen_pattern_hash(&spec.sample_lengths(batch, seed + i as u64))),
+    )
+}
+
+/// Runs the ReLU-activation repetition study: each batch's activation mask
+/// (at the given sparsity) is hashed; returns the cumulative hit ratio.
+pub fn relu_study(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    num_batches: usize,
+    seed: u64,
+) -> Vec<f64> {
+    cumulative_hit_ratio((0..num_batches).map(|i| {
+        generate::relu_activation_mask(rows, cols, sparsity, seed + i as u64).pattern_hash()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_patterns_hit() {
+        let ratios = cumulative_hit_ratio([1u64, 1, 1, 1]);
+        assert_eq!(ratios, vec![0.0, 0.5, 2.0 / 3.0, 0.75]);
+    }
+
+    #[test]
+    fn unique_patterns_never_hit() {
+        let ratios = cumulative_hit_ratio([1u64, 2, 3, 4]);
+        assert!(ratios.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn seqlen_hash_is_order_sensitive() {
+        assert_ne!(seqlen_pattern_hash(&[3, 5]), seqlen_pattern_hash(&[5, 3]));
+        assert_eq!(seqlen_pattern_hash(&[3, 5]), seqlen_pattern_hash(&[3, 5]));
+    }
+
+    #[test]
+    fn mnli_seqlen_hit_ratio_is_low() {
+        // Figure 20: ~0.4% for sequence-length patterns at batch 8, lower
+        // at batch 32.
+        let r8 = seqlen_study(&DatasetSpec::mnli(), 8, 500, 1);
+        let r32 = seqlen_study(&DatasetSpec::mnli(), 32, 500, 1);
+        assert!(*r8.last().unwrap() < 0.05, "batch-8 ratio {}", r8.last().unwrap());
+        assert!(r32.last().unwrap() <= r8.last().unwrap());
+    }
+
+    #[test]
+    fn relu_hit_ratio_is_essentially_zero() {
+        let r = relu_study(64, 64, 0.95, 200, 3);
+        assert!(*r.last().unwrap() < 0.01);
+    }
+}

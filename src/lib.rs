@@ -1,0 +1,30 @@
+//! # PIT — Permutation Invariant Transformation for dynamic sparsity
+//!
+//! A Rust reproduction of *"PIT: Optimization of Dynamic Sparse Deep
+//! Learning Models via Permutation Invariant Transformation"* (SOSP '23).
+//!
+//! This facade crate re-exports the workspace crates under one roof so that
+//! examples and downstream users can depend on a single `pit` crate:
+//!
+//! - [`tensor`] — dense tensors and the tensor-expression IR.
+//! - [`gpusim`] — the analytical GPU performance model (A100/V100).
+//! - [`sparse`] — masks, sparsity generators and classic sparse formats.
+//! - [`kernels`] — dense tiled kernels, the tile database and the baseline
+//!   sparse libraries (cuSPARSE-, Sputnik-, Triton-, SparTA-style).
+//! - [`core`] — the paper's contribution: PIT rules, micro-tiles,
+//!   SRead/SWrite, the online sparsity detector and kernel selection.
+//! - [`models`] — transformer/MoE model simulations used in the evaluation.
+//! - [`workloads`] — synthetic dataset/workload generators.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use pit_core as core;
+pub use pit_gpusim as gpusim;
+pub use pit_kernels as kernels;
+pub use pit_models as models;
+pub use pit_sparse as sparse;
+pub use pit_tensor as tensor;
+pub use pit_workloads as workloads;
+
+/// Crate version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,125 @@
+//! Property-based tests (proptest) for the core PIT invariants:
+//! permutation invariance, coverage accounting and detector completeness.
+
+use pit::core::detector::detect_mask;
+use pit::core::microtile::MicroTile;
+use pit::core::ops::Pit;
+use pit::core::primitives::{sread_rows, swrite_rows};
+use pit::gpusim::{CostModel, DeviceSpec};
+use pit::sparse::{cover_count, generate, Mask};
+use pit::tensor::{ops, DType, Tensor};
+use proptest::prelude::*;
+
+fn cost() -> CostModel {
+    CostModel::new(DeviceSpec::v100_32gb())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1 in action: gathering any permutation of rows, multiplying
+    /// densely and scattering back reproduces the dense product on those
+    /// rows (m-axis permutation invariance).
+    #[test]
+    fn m_axis_permutation_invariance(
+        rows in 4usize..24,
+        cols in 4usize..24,
+        n in 2usize..16,
+        perm_seed in 0u64..1000,
+        data_seed in 0u64..1000,
+    ) {
+        let a = Tensor::random([rows, cols], data_seed);
+        let b = Tensor::random([cols, n], data_seed ^ 0xabcd);
+        let reference = ops::matmul(&a, &b).unwrap();
+        // Build a pseudo-random subset+permutation of rows.
+        let mut selected: Vec<u32> = (0..rows as u32)
+            .filter(|r| {
+                r.wrapping_mul(2_654_435_761)
+                    .wrapping_add(perm_seed as u32)
+                    % 3
+                    != 0
+            })
+            .collect();
+        let k = selected.len();
+        for i in (1..k).rev() {
+            let j = ((perm_seed as usize).wrapping_mul(i * 31 + 7)) % (i + 1);
+            selected.swap(i, j);
+        }
+        let packed = sread_rows(&a, &selected);
+        let prod = ops::matmul(&packed, &b).unwrap();
+        let mut out = Tensor::zeros([rows, n]);
+        swrite_rows(&prod, &selected, &mut out);
+        for &r in &selected {
+            let got = out.row(r as usize).unwrap();
+            let want = reference.row(r as usize).unwrap();
+            for (g, w) in got.iter().zip(want.iter()) {
+                prop_assert!((g - w).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// The full pipeline equals the dense oracle for random granular masks.
+    #[test]
+    fn pipeline_matches_oracle(
+        gh in 1usize..9,
+        gw in 1usize..9,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let pit = Pit::new(DeviceSpec::a100_80gb());
+        let mask = generate::granular_random(96, 64, gh, gw, sparsity, seed);
+        let a = mask.apply(&Tensor::random([96, 64], seed ^ 1));
+        let b = Tensor::random([64, 48], seed ^ 2);
+        let exec = pit.matmul_masked(&a, &mask, &b, DType::F32).unwrap();
+        let reference = ops::matmul(&a, &b).unwrap();
+        prop_assert!(exec.output.tensor.allclose(&reference, 1e-3));
+    }
+
+    /// The unordered detector finds exactly the non-zero micro-tiles, for
+    /// any micro-tile shape and thread count.
+    #[test]
+    fn detector_is_complete_and_sound(
+        mh in 1usize..9,
+        mw in 1usize..9,
+        threads in 1usize..7,
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mask = generate::granular_random(64, 64, 2, 2, sparsity, seed);
+        let idx = detect_mask(&cost(), &mask, MicroTile::new(mh, mw), threads);
+        let reference = pit::sparse::cover::nonzero_tiles(&mask, mh, mw);
+        let got = idx.sorted_coords();
+        prop_assert_eq!(got.len(), reference.len());
+        for ((gr, gc), (rr, rc)) in got.iter().zip(reference.iter()) {
+            prop_assert_eq!(*gr as usize, *rr);
+            prop_assert_eq!(*gc as usize, *rc);
+        }
+    }
+
+    /// CoverAlgo invariants: covered elements bound nnz, and the after-cover
+    /// sparsity is a valid fraction that shrinks as tiles align.
+    #[test]
+    fn cover_accounting_invariants(
+        sparsity in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mask = generate::granular_random(64, 64, 4, 1, sparsity, seed);
+        let fine = cover_count(&mask, 4, 1);
+        let coarse = cover_count(&mask, 16, 16);
+        prop_assert!(fine.covered_elems >= mask.nnz());
+        prop_assert!(coarse.covered_elems >= fine.covered_elems);
+        prop_assert!((0.0..=1.0).contains(&fine.after_cover_sparsity()));
+        // Aligned tiles cover exactly: no residual sparsity.
+        prop_assert!(fine.after_cover_sparsity() < 1e-9);
+    }
+
+    /// Masks round-trip through apply/from_tensor.
+    #[test]
+    fn mask_apply_roundtrip(sparsity in 0.0f64..1.0, seed in 0u64..1000) {
+        let mask = generate::granular_random(32, 48, 1, 1, sparsity, seed);
+        let t = mask.apply(&Tensor::full([32, 48], 1.5));
+        let back = Mask::from_tensor(&t);
+        prop_assert_eq!(back.nnz(), mask.nnz());
+        prop_assert!((t.sparsity() - mask.sparsity()).abs() < 1e-9);
+    }
+}
