@@ -13,11 +13,15 @@ fn bench_switch(c: &mut Criterion) {
     let lens = DatasetSpec::mnli().sample_lengths(32, 1);
     let cfg = ModelConfig::switch_transformer(128);
     for fw in [Framework::PyTorch, Framework::DeepSpeed, Framework::Pit] {
-        group.bench_with_input(BenchmarkId::new("framework", fw.name()), &fw, |bench, &f| {
-            bench.iter(|| {
-                run_inference(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F16, f, 1, 1)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("framework", fw.name()),
+            &fw,
+            |bench, &f| {
+                bench.iter(|| {
+                    run_inference(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F16, f, 1, 1)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -28,11 +32,15 @@ fn bench_bert(c: &mut Criterion) {
     let cfg = ModelConfig::bert_base();
     let lens = DatasetSpec::mnli().sample_lengths(32, 2);
     for fw in [Framework::PyTorch, Framework::Pit] {
-        group.bench_with_input(BenchmarkId::new("framework", fw.name()), &fw, |bench, &f| {
-            bench.iter(|| {
-                run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, f, 1, 2)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("framework", fw.name()),
+            &fw,
+            |bench, &f| {
+                bench.iter(|| {
+                    run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, f, 1, 2)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -79,9 +79,7 @@ fn bench_row_sparse(c: &mut Criterion) {
         bench.iter(|| spmm_m_axis(&cost, &a, &b, &rows, tile, DType::F32).unwrap());
     });
     group.bench_function("dense_padded", |bench| {
-        bench.iter(|| {
-            pit_kernels::dense::matmul_tiled(&cost, &a, &b, tile, DType::F32).unwrap()
-        });
+        bench.iter(|| pit_kernels::dense::matmul_tiled(&cost, &a, &b, tile, DType::F32).unwrap());
     });
     group.finish();
 }

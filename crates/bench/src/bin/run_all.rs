@@ -2,10 +2,13 @@
 use std::fs;
 use std::path::Path;
 
+/// A named figure/table regenerator returning its rendered text.
+type Regenerator = (&'static str, fn() -> String);
+
 fn main() {
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("create results dir");
-    let all: &[(&str, fn() -> String)] = &[
+    let all: &[Regenerator] = &[
         ("fig03a", pit_bench::figures::fig03a),
         ("fig03b", pit_bench::figures::fig03b),
         ("fig08", pit_bench::figures::fig08),

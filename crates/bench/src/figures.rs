@@ -29,7 +29,15 @@ pub fn fig03a() -> String {
     let db = TileDb::profile(&cost);
     let mut t = Table::new(
         "Figure 3a — latency & wasted computation of tile sizes",
-        &["sparsity%", "8x8 ms", "16x16 ms", "32x32 ms", "PIT ms", "8x8 waste%", "32x32 waste%"],
+        &[
+            "sparsity%",
+            "8x8 ms",
+            "16x16 ms",
+            "32x32 ms",
+            "PIT ms",
+            "8x8 waste%",
+            "32x32 waste%",
+        ],
     )
     .caption("SpMM 4096x4096x4096 fp32, fine-grained (1x1) sparsity, V100");
     for sp in [0.90, 0.95, 0.99, 0.999] {
@@ -39,13 +47,8 @@ pub fn fig03a() -> String {
         for side in [8usize, 16, 32] {
             let tile = TileDims::new(side, side, side);
             let cov = cover_count(&mask, side, side);
-            let lat = cost.tiled_gemm_latency(
-                cov.nonzero_tiles * N.div_ceil(side),
-                tile,
-                side,
-                4,
-                false,
-            );
+            let lat =
+                cost.tiled_gemm_latency(cov.nonzero_tiles * N.div_ceil(side), tile, side, 4, false);
             fixed_ms.push(lat * 1e3);
             wastes.push(cov.after_cover_sparsity() * 100.0);
         }
@@ -71,7 +74,14 @@ pub fn fig03b() -> String {
     let dense = cublas::gemm_cost_only(&cost, &db, N, N, N, DType::F32).latency_s * 1e3;
     let mut t = Table::new(
         "Figure 3b — sparse-format conversion overheads",
-        &["sparsity%", "system", "compute ms", "convert ms", "total ms", "cuBLAS ms"],
+        &[
+            "sparsity%",
+            "system",
+            "compute ms",
+            "convert ms",
+            "total ms",
+            "cuBLAS ms",
+        ],
     )
     .caption("SpMM 4096^3 fp32 on V100; SparTA convert = AOT compile (seconds!)");
     for sp in [0.70, 0.90, 0.99] {
@@ -121,7 +131,15 @@ fn moe_frameworks(dtype: DType) -> Vec<Framework> {
 pub fn fig08() -> String {
     let mut t = Table::new(
         "Figure 8 — Switch Transformer (A100)",
-        &["dtype", "batch", "experts", "framework", "latency ms", "convert ms", "mem GiB"],
+        &[
+            "dtype",
+            "batch",
+            "experts",
+            "framework",
+            "latency ms",
+            "convert ms",
+            "mem GiB",
+        ],
     )
     .caption("MNLI-like lengths; OOM marks runs exceeding 80 GB");
     for dtype in [DType::F16, DType::F32] {
@@ -180,7 +198,13 @@ pub fn fig09() -> String {
 pub fn fig10() -> String {
     let mut t = Table::new(
         "Figure 10 — OPT inference (8xV100, fp32, batch 32)",
-        &["model", "framework", "latency ms", "convert ms", "mem GiB (aggregate)"],
+        &[
+            "model",
+            "framework",
+            "latency ms",
+            "convert ms",
+            "mem GiB (aggregate)",
+        ],
     );
     let lens = DatasetSpec::alpaca().sample_lengths(32, 17);
     for size in ["13B", "30B"] {
@@ -209,7 +233,13 @@ pub fn fig10() -> String {
 pub fn fig11() -> String {
     let mut t = Table::new(
         "Figure 11 — BERT-base per dataset (V100, fp32, batch 32)",
-        &["dataset", "framework", "latency ms", "convert ms", "mem GiB"],
+        &[
+            "dataset",
+            "framework",
+            "latency ms",
+            "convert ms",
+            "mem GiB",
+        ],
     );
     let cfg = ModelConfig::bert_base();
     for spec in DatasetSpec::bert_suite() {
@@ -251,8 +281,7 @@ pub fn fig12() -> String {
                 Framework::DeepSpeed,
                 Framework::Pit,
             ] {
-                let r =
-                    run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 1, 23);
+                let r = run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 1, 23);
                 t.row(vec![
                     format!("{size}-{}k", seq / 1024),
                     r.framework.clone(),
@@ -325,7 +354,14 @@ pub fn fig14() -> String {
 pub fn fig15() -> String {
     let mut t = Table::new(
         "Figure 15 — magnitude iterative pruning, BERT (V100, fp32)",
-        &["block", "sparsity%", "framework", "latency ms", "convert ms", "mem GiB"],
+        &[
+            "block",
+            "sparsity%",
+            "framework",
+            "latency ms",
+            "convert ms",
+            "mem GiB",
+        ],
     );
     let lens = DatasetSpec::mnli().sample_lengths(32, 37);
     for gran in [(32usize, 64usize), (32, 1)] {
@@ -352,7 +388,15 @@ pub fn fig16() -> String {
     let db = TileDb::profile(&cost);
     let mut t = Table::new(
         "Figure 16 — SpMM 4096^3 across granularities (V100, fp32)",
-        &["granularity", "sparsity%", "cuSPARSE ms", "Sputnik ms", "OpenAI-BS ms", "SparTA ms", "PIT ms"],
+        &[
+            "granularity",
+            "sparsity%",
+            "cuSPARSE ms",
+            "Sputnik ms",
+            "OpenAI-BS ms",
+            "SparTA ms",
+            "PIT ms",
+        ],
     )
     .caption("Static patterns; conversion/compile time excluded (as in the paper)");
     for gran in [(32usize, 1usize), (1, 64), (32, 64)] {
@@ -362,8 +406,8 @@ pub fn fig16() -> String {
             let cu = cusparse::spmm_cost_only(&cost, N, N, N, nnz, DType::F32).latency_s;
             let sp_ = sputnik::spmm_cost_only(&cost, N, N, N, nnz, DType::F32).latency_s;
             let blocks = cover_count(&mask, 32, 32).nonzero_tiles;
-            let bs = blocksparse::dsd_cost_only(&cost, blocks, 32, 32, N, N, nnz, DType::F32)
-                .latency_s;
+            let bs =
+                blocksparse::dsd_cost_only(&cost, blocks, 32, 32, N, N, nnz, DType::F32).latency_s;
             let sa = sparta::spmm_cost_only(&cost, &mask, N, DType::F32).latency_s;
             let pit = select_kernel(&cost, &db, &[mask], N, DType::F32).predicted_cost_s;
             t.row(vec![
@@ -390,7 +434,9 @@ pub fn fig17() -> String {
     )
     .caption("PIT micro-tiles feed wmma fragments despite the fixed fragment shapes");
     let dense = wmma::gemm_tc_cost_only(&cost, N, N, N, wmma::default_tile()).latency_s * 1e3;
-    for sp in [0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99] {
+    for sp in [
+        0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99,
+    ] {
         let m1 = generate::granular_random(N, N, 32, 1, sp, 43);
         let m64 = generate::granular_random(N, N, 32, 64, sp, 44);
         let l1 = select_kernel(&cost, &db, &[m1], N, DType::F16).predicted_cost_s;
@@ -440,7 +486,13 @@ pub fn fig18() -> String {
 pub fn fig19() -> String {
     let mut t = Table::new(
         "Figure 19 — end-to-end conversion overhead, BERT on GLUE (V100)",
-        &["dataset", "framework", "latency ms", "convert ms", "convert %"],
+        &[
+            "dataset",
+            "framework",
+            "latency ms",
+            "convert ms",
+            "convert %",
+        ],
     );
     let cfg = ModelConfig::bert_base();
     for spec in DatasetSpec::glue() {
@@ -507,7 +559,15 @@ pub fn table3() -> String {
     let db = TileDb::profile(&cost);
     let mut t = Table::new(
         "Table 3 — micro-tile online search (SpMM 4096^3, V100, fp32)",
-        &["granularity", "sparsity%", "micro-tile", "after-cover%", "dense kernel", "latency ms", "search us"],
+        &[
+            "granularity",
+            "sparsity%",
+            "micro-tile",
+            "after-cover%",
+            "dense kernel",
+            "latency ms",
+            "search us",
+        ],
     );
     for gran in [(2usize, 1usize), (4, 1), (8, 1), (32, 1)] {
         for sp in [0.95, 0.99] {
@@ -571,7 +631,7 @@ mod tests {
     fn fig18_pit_always_faster() {
         let s = fig18();
         for line in s.lines().skip(4) {
-            if let Some(x) = line.trim().split_whitespace().last() {
+            if let Some(x) = line.split_whitespace().last() {
                 if let Some(stripped) = x.strip_suffix('x') {
                     let v: f64 = stripped.parse().unwrap();
                     assert!(v > 1.0, "PIT slower in line: {line}");

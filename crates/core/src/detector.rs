@@ -8,8 +8,8 @@
 //! `atomicadd`) and writes its micro-tile coordinates there. The resulting
 //! order depends on thread scheduling, exactly as on a GPU.
 //!
-//! The host-side implementation below is genuinely concurrent (crossbeam
-//! scoped threads + atomics); the *modelled GPU cost* of the same
+//! The host-side implementation below is genuinely concurrent (std scoped
+//! threads + atomics); the *modelled GPU cost* of the same
 //! construction is one scan of the data plus block-aggregated atomic
 //! appends (see `pit_gpusim::cost`).
 
@@ -87,13 +87,13 @@ pub fn detect_mask(
     let cursor = AtomicUsize::new(0);
     let threads = threads.max(1);
     let rows_per_thread = grid_r.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..threads {
             let slots = &slots;
             let cursor = &cursor;
             let r0 = t * rows_per_thread;
             let r1 = ((t + 1) * rows_per_thread).min(grid_r);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for tr in r0..r1 {
                     for tc in 0..grid_c {
                         if mask.block_any(tr * micro.h, tc * micro.w, micro.h, micro.w) {
@@ -105,8 +105,7 @@ pub fn detect_mask(
                 }
             });
         }
-    })
-    .expect("detector threads do not panic");
+    });
     let n = cursor.load(Ordering::Relaxed);
     let coords = slots[..n]
         .iter()
@@ -238,9 +237,9 @@ mod tests {
             4096 * 4096 / 2,
             4,
         );
-        let pit_at_4096 = cost.scan_pass((4096.0 * 4096.0) / 8.0)
-            + cost.index_append(4096 * 4096 / 2);
+        let pit_at_4096 =
+            cost.scan_pass((4096.0 * 4096.0) / 8.0) + cost.index_append(4096 * 4096 / 2);
         assert!(csr > 3.0 * pit_at_4096, "csr {csr} vs pit {pit_at_4096}");
-        assert!(idx.len() > 0);
+        assert!(!idx.is_empty());
     }
 }

@@ -10,9 +10,10 @@
 //! the pattern bits.
 
 use crate::selection::SelectedKernel;
-use parking_lot::RwLock;
 use pit_tensor::DType;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Cache key: the operator signature (never the sparsity pattern).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -29,8 +30,8 @@ pub struct KernelKey {
 #[derive(Debug, Default)]
 pub struct JitCache {
     map: RwLock<HashMap<KernelKey, SelectedKernel>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl JitCache {
@@ -45,34 +46,37 @@ impl JitCache {
         key: KernelKey,
         select: impl FnOnce() -> SelectedKernel,
     ) -> SelectedKernel {
-        if let Some(hit) = self.map.read().get(&key) {
-            *self.hits.write() += 1;
+        if let Some(hit) = self.map.read().expect("jit cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
-        *self.misses.write() += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let selected = select();
-        self.map.write().insert(key, selected.clone());
+        self.map
+            .write()
+            .expect("jit cache poisoned")
+            .insert(key, selected.clone());
         selected
     }
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
-        *self.hits.read()
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
-        *self.misses.read()
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Number of cached selections.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().expect("jit cache poisoned").len()
     }
 
     /// True when nothing has been cached.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map.read().expect("jit cache poisoned").is_empty()
     }
 }
 

@@ -113,9 +113,9 @@ impl Pit {
             dims: [m, k, n],
             dtype,
         };
-        let selection = self
-            .cache
-            .get_or_select(key, || select_kernel(&self.cost, &self.db, &[mask.clone()], n, dtype));
+        let selection = self.cache.get_or_select(key, || {
+            select_kernel(&self.cost, &self.db, std::slice::from_ref(mask), n, dtype)
+        });
         match selection.rule {
             None => {
                 let output = self.matmul_dense(a, b, dtype)?;
@@ -129,8 +129,7 @@ impl Pit {
                 MatmulAxis::M => {
                     // Row detection: the index is the non-zero row list;
                     // modelled as a (1, tile.k)-granular detection pass.
-                    let index =
-                        detect_mask(&self.cost, mask, rule.micro, self.detect_threads);
+                    let index = detect_mask(&self.cost, mask, rule.micro, self.detect_threads);
                     let rows: Vec<u32> = index.nonzero_grid_rows();
                     let output = spmm_m_axis(&self.cost, a, b, &rows, rule.tile, dtype)?;
                     Ok(PitExecution {
@@ -143,8 +142,7 @@ impl Pit {
                     // Row-segment kernel: (1, w) micro-tiles, per-row
                     // vectorised MACs. Numerically this is the plain
                     // masked product (no merging reorders anything).
-                    let index =
-                        detect_mask(&self.cost, mask, rule.micro, self.detect_threads);
+                    let index = detect_mask(&self.cost, mask, rule.micro, self.detect_threads);
                     let tensor = pit_tensor::ops::matmul(a, b)?;
                     let stats = crate::kernels::spmm_segment_cost(
                         &self.cost,
@@ -161,8 +159,7 @@ impl Pit {
                     })
                 }
                 MatmulAxis::K => {
-                    let index =
-                        detect_mask(&self.cost, mask, rule.micro, self.detect_threads);
+                    let index = detect_mask(&self.cost, mask, rule.micro, self.detect_threads);
                     let output = spmm_k_axis(&self.cost, a, b, &index, rule.tile, dtype)?;
                     Ok(PitExecution {
                         output,
@@ -233,7 +230,10 @@ impl Pit {
         let (m, k) = (a.shape().dim(0), a.shape().dim(1));
         let n = b.shape().dim(1);
         let tc = dtype.tensor_core_eligible();
-        let tile = self.db.best_dense_tile(&self.cost, m, k, n.min(64), tc).dims;
+        let tile = self
+            .db
+            .best_dense_tile(&self.cost, m, k, n.min(64), tc)
+            .dims;
         // The output index is the mask itself (known, no value scan); the
         // per-strip row gathering inside the kernel is the detection.
         let scan = KernelStats {
@@ -250,7 +250,9 @@ impl Pit {
                 tensor_core: tc,
             }),
             predicted_cost_s: output.stats.latency_s,
-            dense_cost_s: self.cost.dense_gemm_latency(m, k, n, tile, dtype.size_bytes(), tc),
+            dense_cost_s: self
+                .cost
+                .dense_gemm_latency(m, k, n, tile, dtype.size_bytes(), tc),
             after_cover_sparsity: 0.0,
             search_time: std::time::Duration::ZERO,
         };
@@ -277,9 +279,22 @@ impl Pit {
         let max_cnt = expert_tokens.iter().map(Vec::len).max().unwrap_or(0);
         let tile = self
             .db
-            .best_dense_tile(&self.cost, max_cnt.max(1), h, f, dtype.tensor_core_eligible())
+            .best_dense_tile(
+                &self.cost,
+                max_cnt.max(1),
+                h,
+                f,
+                dtype.tensor_core_eligible(),
+            )
             .dims;
-        moe_gemm(&self.cost, tokens, expert_weights, expert_tokens, tile, dtype)
+        moe_gemm(
+            &self.cost,
+            tokens,
+            expert_weights,
+            expert_tokens,
+            tile,
+            dtype,
+        )
     }
 
     /// Exposes the raw detector for callers that manage indexes themselves.
@@ -332,7 +347,8 @@ mod tests {
         let pit = engine();
         let a = Tensor::random([64, 64], 6);
         let mask = Mask::ones(64, 64);
-        let exec = pit.matmul_masked(&a, &mask, &Tensor::random([64, 64], 7), DType::F32)
+        let exec = pit
+            .matmul_masked(&a, &mask, &Tensor::random([64, 64], 7), DType::F32)
             .unwrap();
         assert!(exec.selection.rule.is_none());
         assert_eq!(exec.detection.latency_s, 0.0);

@@ -156,8 +156,7 @@ pub fn select_kernel(
     }
     let mean = total / samples.len() as f64;
     mean_run /= samples.len() as f64;
-    let mean_density = sample_nnz.iter().sum::<usize>() as f64
-        / (samples.len() * m * k) as f64;
+    let mean_density = sample_nnz.iter().sum::<usize>() as f64 / (samples.len() * m * k) as f64;
     // Fine-grained segment kernels only pay off beyond ~50% sparsity
     // (Figure 16 starts there); below that the dense tile always wins on
     // real hardware, so the candidate is gated accordingly.

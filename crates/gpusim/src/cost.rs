@@ -152,7 +152,8 @@ impl CostModel {
     ) -> f64 {
         let passes = k_total.div_ceil(tile.k).max(1);
         let writeback = (tile.area() * elem_bytes) as f64 / self.device.bw_per_sm();
-        passes as f64 * self.tile_pass_cost(tile, elem_bytes, tensor_core) + writeback
+        passes as f64 * self.tile_pass_cost(tile, elem_bytes, tensor_core)
+            + writeback
             + TILE_SCHED_S
     }
 
@@ -178,8 +179,7 @@ impl CostModel {
         // Parallelism is bounded by the number of thread blocks: a kernel
         // with fewer output tiles than SMs cannot use every SM.
         let effective_sms = self.device.num_sms.min(out_tiles.max(1)) as f64;
-        (total_passes as f64 * pass + out_tiles as f64 * (writeback + TILE_SCHED_S))
-            / effective_sms
+        (total_passes as f64 * pass + out_tiles as f64 * (writeback + TILE_SCHED_S)) / effective_sms
             + self.device.kernel_launch_s
     }
 
@@ -254,8 +254,7 @@ impl CostModel {
     /// each (radix sort: ~4 full passes over the keys), as performed by
     /// ordered-index converters (CSR construction via `nonzero` + sort).
     pub fn device_sort(&self, n_items: usize, rec_bytes: usize) -> f64 {
-        4.0 * (n_items * rec_bytes) as f64 / self.device.bw_total()
-            + self.device.kernel_launch_s
+        4.0 * (n_items * rec_bytes) as f64 / self.device.bw_total() + self.device.kernel_launch_s
     }
 
     /// Multiplicative overhead applied to tile loads performed through
@@ -289,8 +288,7 @@ mod tests {
         // Dense 4096^3 fp32 on A100 with a 128x128x32 tile: peak-FLOP bound
         // is ~7 ms; a realistic kernel lands between 7 and 25 ms.
         let m = a100();
-        let lat =
-            m.dense_gemm_latency(4096, 4096, 4096, TileDims::new(128, 32, 128), 4, false);
+        let lat = m.dense_gemm_latency(4096, 4096, 4096, TileDims::new(128, 32, 128), 4, false);
         assert!(lat > 7.0e-3 && lat < 25.0e-3, "latency {lat}");
     }
 

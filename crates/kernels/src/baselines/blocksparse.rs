@@ -197,7 +197,15 @@ pub fn layout_cost(
     nnz_blocks: usize,
     dtype: DType,
 ) -> f64 {
-    convert_cost::triton_layout(cost, rows, cols, block, block, nnz_blocks, dtype.size_bytes())
+    convert_cost::triton_layout(
+        cost,
+        rows,
+        cols,
+        block,
+        block,
+        nnz_blocks,
+        dtype.size_bytes(),
+    )
 }
 
 #[cfg(test)]

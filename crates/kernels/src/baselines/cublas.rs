@@ -50,9 +50,7 @@ mod tests {
         let a = Tensor::random([40, 60], 1);
         let b = Tensor::random([60, 50], 2);
         let out = gemm(&cost, &db, &a, &b, DType::F32).unwrap();
-        assert!(out
-            .tensor
-            .allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
+        assert!(out.tensor.allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
     }
 
     #[test]

@@ -85,7 +85,13 @@ pub fn spmm_cost_only(
 
 /// Conversion (dense → CSR) latency for dynamic-sparsity use: the paper's
 /// "PyTorch-S Convert" bar when cuSPARSE is the backend.
-pub fn conversion_cost(cost: &CostModel, rows: usize, cols: usize, nnz: usize, dtype: DType) -> f64 {
+pub fn conversion_cost(
+    cost: &CostModel,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    dtype: DType,
+) -> f64 {
     convert_cost::csr_via_nonzero_sort(cost, rows, cols, nnz, dtype.size_bytes())
 }
 
@@ -104,9 +110,7 @@ mod tests {
         let b = Tensor::random([64, 32], 3);
         let csr = Csr::from_dense(&a);
         let out = spmm(&cost, &csr, &b, DType::F32).unwrap();
-        assert!(out
-            .tensor
-            .allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
+        assert!(out.tensor.allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
     }
 
     #[test]
@@ -125,7 +129,8 @@ mod tests {
         let cost = CostModel::new(DeviceSpec::v100_32gb());
         let db = crate::tiles::TileDb::profile(&cost);
         let sparse = spmm_cost_only(&cost, 4096, 4096, 4096, 8 * 1024 * 1024, DType::F32);
-        let dense = crate::baselines::cublas::gemm_cost_only(&cost, &db, 4096, 4096, 4096, DType::F32);
+        let dense =
+            crate::baselines::cublas::gemm_cost_only(&cost, &db, 4096, 4096, 4096, DType::F32);
         assert!(sparse.latency_s > dense.latency_s);
     }
 

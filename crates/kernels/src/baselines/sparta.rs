@@ -89,7 +89,7 @@ fn best_aligned_cost(cost: &CostModel, mask: &Mask, n: usize, dtype: DType) -> K
             tiles_executed: total_passes,
             latency_s: latency,
         };
-        if best.map_or(true, |b| stats.latency_s < b.latency_s) {
+        if best.is_none_or(|b| stats.latency_s < b.latency_s) {
             best = Some(stats);
         }
     }
@@ -103,9 +103,8 @@ fn fine_grained_cost(cost: &CostModel, mask: &Mask, n: usize, dtype: DType) -> K
     let flops = 2.0 * (nnz * n) as f64;
     let peak = cost.device().flops_per_sm(false) * cost.device().num_sms as f64;
     let compute = flops / (peak * SPARTA_FINE_EFFICIENCY);
-    let traffic = (nnz * elem) as f64
-        + (nnz * n * elem) as f64 / 16.0
-        + (mask.rows() * n * elem) as f64;
+    let traffic =
+        (nnz * elem) as f64 + (nnz * n * elem) as f64 / 16.0 + (mask.rows() * n * elem) as f64;
     let memory = traffic / cost.device().bw_total();
     KernelStats {
         flops_useful: flops,
@@ -145,7 +144,11 @@ mod tests {
         let cost = cost();
         let mask = generate::granular_random(1024, 1024, 32, 64, 0.9, 4);
         let stats = spmm_cost_only(&cost, &mask, 1024, DType::F32);
-        assert!(stats.wasted_fraction() < 0.05, "waste {}", stats.wasted_fraction());
+        assert!(
+            stats.wasted_fraction() < 0.05,
+            "waste {}",
+            stats.wasted_fraction()
+        );
     }
 
     #[test]

@@ -83,7 +83,13 @@ pub fn spmm_cost_only(
 }
 
 /// Conversion (dense → CSR) latency; Sputnik consumes CSR like cuSPARSE.
-pub fn conversion_cost(cost: &CostModel, rows: usize, cols: usize, nnz: usize, dtype: DType) -> f64 {
+pub fn conversion_cost(
+    cost: &CostModel,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    dtype: DType,
+) -> f64 {
     convert_cost::csr_via_nonzero_sort(cost, rows, cols, nnz, dtype.size_bytes())
 }
 
@@ -101,9 +107,7 @@ mod tests {
         let a = mask.apply(&Tensor::random([32, 48], 6));
         let b = Tensor::random([48, 24], 7);
         let out = spmm(&cost, &Csr::from_dense(&a), &b, DType::F32).unwrap();
-        assert!(out
-            .tensor
-            .allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
+        assert!(out.tensor.allclose(&ops::matmul(&a, &b).unwrap(), 1e-4));
     }
 
     #[test]
@@ -112,7 +116,12 @@ mod tests {
         let cost = CostModel::new(DeviceSpec::v100_32gb());
         let s = spmm_cost_only(&cost, 4096, 4096, 4096, 1_000_000, DType::F32);
         let c = crate::baselines::cusparse::spmm_cost_only(
-            &cost, 4096, 4096, 4096, 1_000_000, DType::F32,
+            &cost,
+            4096,
+            4096,
+            4096,
+            1_000_000,
+            DType::F32,
         );
         assert!(s.latency_s < c.latency_s);
     }

@@ -100,7 +100,12 @@ pub fn matmul_cost_only(
 }
 
 /// Memory-bound elementwise kernel stats (ReLU/GELU/bias/residual adds).
-pub fn elementwise_cost(cost: &CostModel, numel: usize, dtype: DType, n_inputs: usize) -> KernelStats {
+pub fn elementwise_cost(
+    cost: &CostModel,
+    numel: usize,
+    dtype: DType,
+    n_inputs: usize,
+) -> KernelStats {
     let elem = dtype.size_bytes();
     let read = (numel * elem * n_inputs) as f64;
     let write = (numel * elem) as f64;
@@ -214,8 +219,22 @@ mod tests {
     #[test]
     fn fp16_gemm_is_faster_than_fp32() {
         let cost = cost();
-        let s16 = matmul_cost_only(&cost, 1024, 1024, 1024, TileDims::new(64, 32, 64), DType::F16);
-        let s32 = matmul_cost_only(&cost, 1024, 1024, 1024, TileDims::new(64, 32, 64), DType::F32);
+        let s16 = matmul_cost_only(
+            &cost,
+            1024,
+            1024,
+            1024,
+            TileDims::new(64, 32, 64),
+            DType::F16,
+        );
+        let s32 = matmul_cost_only(
+            &cost,
+            1024,
+            1024,
+            1024,
+            TileDims::new(64, 32, 64),
+            DType::F32,
+        );
         assert!(s16.latency_s < s32.latency_s);
     }
 

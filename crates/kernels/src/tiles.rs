@@ -104,7 +104,9 @@ impl TileDb {
 
     /// All tiles for the given execution path.
     pub fn tiles(&self, tensor_core: bool) -> impl Iterator<Item = &ProfiledTile> {
-        self.tiles.iter().filter(move |t| t.tensor_core == tensor_core)
+        self.tiles
+            .iter()
+            .filter(move |t| t.tensor_core == tensor_core)
     }
 
     /// All tiles regardless of path.
@@ -198,8 +200,6 @@ mod tests {
     fn wmma_tiles_only_on_tensor_core_path() {
         let (db, _) = db();
         assert!(db.tiles(true).count() >= WMMA_TILES.len());
-        assert!(db
-            .tiles(false)
-            .all(|t| CUDA_CORE_TILES.contains(&t.dims)));
+        assert!(db.tiles(false).all(|t| CUDA_CORE_TILES.contains(&t.dims)));
     }
 }

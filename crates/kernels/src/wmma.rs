@@ -27,7 +27,7 @@ pub fn fragment_supported(frag: TileDims) -> bool {
 /// (dimensions divisible by some fragment).
 pub fn tile_supported(tile: TileDims) -> bool {
     WMMA_FRAGMENTS.iter().any(|f| {
-        tile.m % f.m == 0 && tile.k % f.k == 0 && tile.n % f.n == 0
+        tile.m.is_multiple_of(f.m) && tile.k.is_multiple_of(f.k) && tile.n.is_multiple_of(f.n)
     })
 }
 

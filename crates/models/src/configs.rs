@@ -78,7 +78,9 @@ impl ModelConfig {
     /// Number of MoE layers.
     pub fn moe_layers(&self) -> usize {
         match self.moe {
-            Some(moe) => (0..self.layers).filter(|l| l % moe.every == moe.every - 1).count(),
+            Some(moe) => (0..self.layers)
+                .filter(|l| l % moe.every == moe.every - 1)
+                .count(),
             None => 0,
         }
     }

@@ -71,9 +71,10 @@ impl Framework {
 }
 
 /// Host-side time PyTorch spends per expert in the sequential MoE loop
-/// (Python iteration, `index_select`, two kernel launches; order of
-/// magnitude from profiling reports of naive MoE loops).
-pub const PYTORCH_PER_EXPERT_HOST_S: f64 = 0.2e-3;
+/// (Python iteration, `index_select`, activation and two GEMM launches —
+/// roughly seven launches plus eager-mode Python dispatch per expert; order
+/// of magnitude from profiling reports of naive MoE loops).
+pub const PYTORCH_PER_EXPERT_HOST_S: f64 = 0.25e-3;
 
 /// The analytic execution engine for one run.
 #[derive(Debug)]
@@ -136,8 +137,14 @@ impl Engine {
         if m == 0 || k == 0 || n == 0 {
             return;
         }
-        let mut stats =
-            cublas::gemm_cost_only(self.cost(), &self.db, m, k.div_ceil(self.devices), n, self.dtype);
+        let mut stats = cublas::gemm_cost_only(
+            self.cost(),
+            &self.db,
+            m,
+            k.div_ceil(self.devices),
+            n,
+            self.dtype,
+        );
         stats.latency_s = stats.latency_s.max(self.cost().device().kernel_launch_s);
         self.gemm_time_s += stats.latency_s;
         self.ctx.record(label, stats);
@@ -151,8 +158,7 @@ impl Engine {
         if flops <= 0.0 {
             return;
         }
-        let reference =
-            cublas::gemm_cost_only(self.cost(), &self.db, 2048, 2048, 2048, self.dtype);
+        let reference = cublas::gemm_cost_only(self.cost(), &self.db, 2048, 2048, 2048, self.dtype);
         let throughput = reference.flops_executed / reference.latency_s;
         let d = self.devices as f64;
         let compute = flops / throughput / d;
@@ -213,8 +219,7 @@ impl Engine {
         if rows == 0 || cols == 0 {
             return;
         }
-        let stats =
-            dense::softmax_cost(self.cost(), rows.div_ceil(self.devices), cols, self.dtype);
+        let stats = dense::softmax_cost(self.cost(), rows.div_ceil(self.devices), cols, self.dtype);
         self.ctx.record(label, stats);
     }
 
@@ -324,8 +329,8 @@ mod tests {
     #[test]
     fn tensor_parallel_divides_gemm_and_adds_allreduce() {
         let mut single = engine(Framework::PyTorch);
-        let mut multi = Engine::new(DeviceSpec::v100_32gb(), DType::F32, Framework::PyTorch)
-            .with_devices(8);
+        let mut multi =
+            Engine::new(DeviceSpec::v100_32gb(), DType::F32, Framework::PyTorch).with_devices(8);
         single.gemm("g", 4096, 8192, 4096);
         multi.gemm("g", 4096, 8192, 4096);
         assert!(multi.latency_ms() < single.latency_ms());

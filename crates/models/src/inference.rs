@@ -65,11 +65,9 @@ fn attention_coverage(kind: AttnKind, l: usize, framework: Framework) -> f64 {
                 Framework::PyTorch | Framework::Tvm => 1.0,
                 // Triton 32x32 blocks: window rounded up to blocks, global
                 // rows/cols padded to whole block rows.
-                Framework::PyTorchS | Framework::DeepSpeed => {
-                    ((window as f64 + 64.0) / lf + 2.0 * (global_frac * lf / 32.0).ceil() * 32.0
-                        / lf)
-                        .min(1.0)
-                }
+                Framework::PyTorchS | Framework::DeepSpeed => ((window as f64 + 64.0) / lf
+                    + 2.0 * (global_frac * lf / 32.0).ceil() * 32.0 / lf)
+                    .min(1.0),
                 // Longformer-S and PIT cover the pattern (micro-tile waste
                 // for PIT is a few percent of the window band).
                 Framework::LongformerS => exact,
@@ -200,8 +198,7 @@ pub fn run_inference(
         let l = batch.max_len;
         let frac = attention_coverage(cfg.attention, l, framework);
         let blocks = ((l / 32).max(1) * (l / 32).max(1)) as f64 * frac;
-        let cost =
-            blocksparse::layout_cost(eng.cost(), l, l, 32, blocks as usize, dtype);
+        let cost = blocksparse::layout_cost(eng.cost(), l, l, 32, blocks as usize, dtype);
         eng.host_overhead("attn.convert", cost);
     }
 
@@ -217,7 +214,14 @@ pub fn run_inference(
         if pit_layer_index_s > 0.0 {
             eng.host_overhead(&format!("{p}.pit_index"), pit_layer_index_s);
         }
-        attention(&mut eng, &format!("{p}.attn"), &eff_lens, cfg.hidden, cfg.heads, cfg.attention);
+        attention(
+            &mut eng,
+            &format!("{p}.attn"),
+            &eff_lens,
+            cfg.hidden,
+            cfg.heads,
+            cfg.attention,
+        );
         match cfg.moe {
             Some(moe) if layer % moe.every == moe.every - 1 => {
                 moe_ffn(
@@ -233,7 +237,14 @@ pub fn run_inference(
                 // activations handled inside moe_ffn. Track nothing extra.
                 let _ = moe_weight_bytes(cfg.hidden, cfg.ffn, &moe, elem);
             }
-            _ => ffn(&mut eng, &format!("{p}.ffn"), tokens, cfg.hidden, cfg.ffn, cfg.relu_ffn),
+            _ => ffn(
+                &mut eng,
+                &format!("{p}.ffn"),
+                tokens,
+                cfg.hidden,
+                cfg.ffn,
+                cfg.relu_ffn,
+            ),
         }
         // Per-layer activation working set.
         let alpha = if framework.fused_elementwise() { 2 } else { 4 };
@@ -280,9 +291,7 @@ mod tests {
     fn switch_ordering_matches_figure8() {
         let cfg = ModelConfig::switch_transformer(128);
         let lens = mnli_lens();
-        let run = |fw| {
-            run_inference(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F32, fw, 1, 7)
-        };
+        let run = |fw| run_inference(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F32, fw, 1, 7);
         let pit = run(Framework::Pit);
         let ds = run(Framework::DeepSpeed);
         let pt = run(Framework::PyTorch);
@@ -325,9 +334,7 @@ mod tests {
     fn opt_activation_ablation_matches_figure10() {
         let cfg = ModelConfig::opt("13B");
         let lens = DatasetSpec::alpaca().sample_lengths(32, 3);
-        let run = |fw| {
-            run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 8, 3)
-        };
+        let run = |fw| run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 8, 3);
         let pit = run(Framework::Pit);
         let pit_no_act = run(Framework::PitNoActivation);
         let pt = run(Framework::PyTorch);
@@ -341,9 +348,7 @@ mod tests {
     fn longformer_pit_beats_dense_and_blocksparse() {
         let cfg = ModelConfig::longformer("base");
         let lens = DatasetSpec::arxiv(4096).sample_lengths(1, 5);
-        let run = |fw| {
-            run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 1, 5)
-        };
+        let run = |fw| run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 1, 5);
         let pit = run(Framework::Pit);
         let pts = run(Framework::PyTorchS);
         let pt = run(Framework::PyTorch);
@@ -385,9 +390,7 @@ mod tests {
     fn bert_turbo_between_pytorch_and_pit() {
         let cfg = ModelConfig::bert_base();
         let lens = DatasetSpec::mnli().sample_lengths(32, 11);
-        let run = |fw| {
-            run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 1, 11)
-        };
+        let run = |fw| run_inference(&cfg, &lens, DeviceSpec::v100_32gb(), DType::F32, fw, 1, 11);
         let pit = run(Framework::Pit);
         let turbo = run(Framework::TurboTransformer);
         let pt = run(Framework::PyTorch);

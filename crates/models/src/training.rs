@@ -280,9 +280,7 @@ mod tests {
     fn opt_training_ordering_matches_figure14() {
         let cfg = ModelConfig::opt("350M");
         let lens = DatasetSpec::alpaca().sample_lengths(8, 1);
-        let run = |fw| {
-            run_training_step(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F32, fw, 1)
-        };
+        let run = |fw| run_training_step(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F32, fw, 1);
         let pit = run(Framework::Pit);
         let pts = run(Framework::PyTorchS);
         let pt = run(Framework::PyTorch);
@@ -300,8 +298,22 @@ mod tests {
     fn training_memory_pit_smallest() {
         let cfg = ModelConfig::opt("125M");
         let lens = DatasetSpec::alpaca().sample_lengths(8, 2);
-        let pit = run_training_step(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F32, Framework::Pit, 2);
-        let pt = run_training_step(&cfg, &lens, DeviceSpec::a100_80gb(), DType::F32, Framework::PyTorch, 2);
+        let pit = run_training_step(
+            &cfg,
+            &lens,
+            DeviceSpec::a100_80gb(),
+            DType::F32,
+            Framework::Pit,
+            2,
+        );
+        let pt = run_training_step(
+            &cfg,
+            &lens,
+            DeviceSpec::a100_80gb(),
+            DType::F32,
+            Framework::PyTorch,
+            2,
+        );
         assert!(pit.peak_gib < pt.peak_gib);
     }
 
@@ -310,7 +322,13 @@ mod tests {
         // §5.2: PIT at 32x1 runs almost as fast as at 32x64 because the
         // (32,1) micro-tile covers both exactly.
         let lens = DatasetSpec::mnli().sample_lengths(32, 3);
-        let coarse = run_pruning_step((32, 64), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::Pit);
+        let coarse = run_pruning_step(
+            (32, 64),
+            0.9,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::Pit,
+        );
         let fine = run_pruning_step((32, 1), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::Pit);
         let ratio = fine.latency_ms / coarse.latency_ms;
         assert!(ratio < 1.15, "PIT 32x1 vs 32x64 ratio {ratio}");
@@ -319,23 +337,55 @@ mod tests {
     #[test]
     fn pruning_pytorch_s_degrades_at_fine_granularity() {
         let lens = DatasetSpec::mnli().sample_lengths(32, 3);
-        let coarse =
-            run_pruning_step((32, 64), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::PyTorchS);
-        let fine =
-            run_pruning_step((32, 1), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::PyTorchS);
+        let coarse = run_pruning_step(
+            (32, 64),
+            0.9,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::PyTorchS,
+        );
+        let fine = run_pruning_step(
+            (32, 1),
+            0.9,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::PyTorchS,
+        );
         assert!(fine.latency_ms > 1.3 * coarse.latency_ms);
     }
 
     #[test]
     fn pruning_latency_drops_with_sparsity_for_pit_not_pytorch() {
         let lens = DatasetSpec::mnli().sample_lengths(32, 4);
-        let pit_50 = run_pruning_step((32, 64), 0.5, &lens, DeviceSpec::v100_32gb(), Framework::Pit);
-        let pit_98 = run_pruning_step((32, 64), 0.98, &lens, DeviceSpec::v100_32gb(), Framework::Pit);
+        let pit_50 = run_pruning_step(
+            (32, 64),
+            0.5,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::Pit,
+        );
+        let pit_98 = run_pruning_step(
+            (32, 64),
+            0.98,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::Pit,
+        );
         assert!(pit_98.latency_ms < pit_50.latency_ms);
-        let pt_50 =
-            run_pruning_step((32, 64), 0.5, &lens, DeviceSpec::v100_32gb(), Framework::PyTorch);
-        let pt_98 =
-            run_pruning_step((32, 64), 0.98, &lens, DeviceSpec::v100_32gb(), Framework::PyTorch);
+        let pt_50 = run_pruning_step(
+            (32, 64),
+            0.5,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::PyTorch,
+        );
+        let pt_98 = run_pruning_step(
+            (32, 64),
+            0.98,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::PyTorch,
+        );
         let drift = (pt_50.latency_ms - pt_98.latency_ms).abs() / pt_50.latency_ms;
         assert!(drift < 0.05, "dense baseline should be flat, drift {drift}");
     }
@@ -344,9 +394,20 @@ mod tests {
     fn pruning_pit_beats_baselines() {
         let lens = DatasetSpec::mnli().sample_lengths(32, 5);
         let pit = run_pruning_step((32, 1), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::Pit);
-        let pts =
-            run_pruning_step((32, 1), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::PyTorchS);
-        let pt = run_pruning_step((32, 1), 0.9, &lens, DeviceSpec::v100_32gb(), Framework::PyTorch);
+        let pts = run_pruning_step(
+            (32, 1),
+            0.9,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::PyTorchS,
+        );
+        let pt = run_pruning_step(
+            (32, 1),
+            0.9,
+            &lens,
+            DeviceSpec::v100_32gb(),
+            Framework::PyTorch,
+        );
         assert!(pit.latency_ms < pts.latency_ms);
         assert!(pit.latency_ms < pt.latency_ms);
     }

@@ -332,12 +332,7 @@ pub mod convert_cost {
         let sort = cost.device_sort(nnz, 16);
         let build_ptr = cost.scan_pass((nnz * 8) as f64);
         let gather_vals = (nnz * (8 + elem_bytes)) as f64 / cost.device().bw_total();
-        select
-            + write_coords
-            + sort
-            + build_ptr
-            + gather_vals
-            + 2.0 * cost.device().host_sync_s
+        select + write_coords + sort + build_ptr + gather_vals + 2.0 * cost.device().host_sync_s
     }
 
     /// Triton/OpenAI block-sparse layout construction: one mask-reduction
@@ -430,8 +425,7 @@ mod tests {
         // Index construction on a 4096x4096 fp32 tensor at 50% density.
         let nnz = 4096 * 4096 / 2;
         let csr = convert_cost::csr_via_nonzero_sort(&cost, 4096, 4096, nnz, 4);
-        let triton =
-            convert_cost::triton_layout(&cost, 4096, 4096, 32, 32, 128 * 128 / 2, 4);
+        let triton = convert_cost::triton_layout(&cost, 4096, 4096, 32, 32, 128 * 128 / 2, 4);
         assert!(csr > 0.0 && triton > 0.0);
         // Framework CSR conversion is dominated by the sort of nnz pairs
         // and lands near a millisecond at this size on V100.

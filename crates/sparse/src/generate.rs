@@ -160,8 +160,8 @@ impl RoutingPlan {
     /// implementations: `capacity_factor * tokens / experts`, at least 1,
     /// and at least the actual maximum when `drop_tokens` is false.
     pub fn capacity(&self, capacity_factor: f64, drop_tokens: bool) -> usize {
-        let even = (self.num_tokens() as f64 / self.num_experts as f64 * capacity_factor)
-            .ceil() as usize;
+        let even =
+            (self.num_tokens() as f64 / self.num_experts as f64 * capacity_factor).ceil() as usize;
         let cap = even.max(1);
         if drop_tokens {
             cap
@@ -219,12 +219,7 @@ pub fn museformer_mask(seq: usize, bar_len: usize, summary_offset: usize) -> Mas
 /// # Panics
 ///
 /// Panics if `weights` is not rank 2.
-pub fn magnitude_prune(
-    weights: &Tensor,
-    gran_h: usize,
-    gran_w: usize,
-    sparsity: f64,
-) -> Mask {
+pub fn magnitude_prune(weights: &Tensor, gran_h: usize, gran_w: usize, sparsity: f64) -> Mask {
     assert_eq!(weights.rank(), 2, "magnitude_prune requires a matrix");
     let (rows, cols) = (weights.shape().dim(0), weights.shape().dim(1));
     let grid_r = rows.div_ceil(gran_h);

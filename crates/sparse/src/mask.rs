@@ -178,7 +178,7 @@ impl Mask {
                 let mask = if hi - lo == 64 {
                     u64::MAX
                 } else {
-                    (((1u64 << (hi - lo)) - 1) << lo) as u64
+                    ((1u64 << (hi - lo)) - 1) << lo
                 };
                 if self.bits[base + word_idx] & mask != 0 {
                     return true;
@@ -204,7 +204,7 @@ impl Mask {
                 let mask = if hi - lo == 64 {
                     u64::MAX
                 } else {
-                    (((1u64 << (hi - lo)) - 1) << lo) as u64
+                    ((1u64 << (hi - lo)) - 1) << lo
                 };
                 count += (self.bits[base + word_idx] & mask).count_ones() as usize;
                 c = (word_idx + 1) * 64;
@@ -232,7 +232,10 @@ impl Mask {
             let r1 = ((s + 1) * strip_h).min(self.rows);
             for r in s * strip_h..r1 {
                 let base = r * self.words_per_row;
-                for (a, &w) in acc.iter_mut().zip(&self.bits[base..base + self.words_per_row]) {
+                for (a, &w) in acc
+                    .iter_mut()
+                    .zip(&self.bits[base..base + self.words_per_row])
+                {
                     *a |= w;
                 }
             }
@@ -246,7 +249,10 @@ impl Mask {
         let mut any = vec![false; self.cols];
         for r in 0..self.rows {
             let base = r * self.words_per_row;
-            for (wi, &w) in self.bits[base..base + self.words_per_row].iter().enumerate() {
+            for (wi, &w) in self.bits[base..base + self.words_per_row]
+                .iter()
+                .enumerate()
+            {
                 let mut word = w;
                 while word != 0 {
                     let b = word.trailing_zeros() as usize;

@@ -239,10 +239,7 @@ impl TensorExpr {
                 return Err(TensorError::BadEinsum(spec.to_string()));
             }
             let axes: Vec<AxisId> = term.chars().map(|c| axis_of(c, &mut axis_names)).collect();
-            inputs.push(Operand::simple(
-                &format!("I{i}"),
-                axes.as_slice(),
-            ));
+            inputs.push(Operand::simple(&format!("I{i}"), axes.as_slice()));
         }
         // Output letters must already exist among the inputs.
         let mut out_axes = Vec::new();
@@ -412,13 +409,7 @@ mod tests {
     #[test]
     fn conv_derived_axes_classified() {
         let infos = TensorExpr::conv2d().classify_axes();
-        let kind_of = |n: &str| {
-            infos
-                .iter()
-                .find(|a| a.name == n)
-                .map(|a| a.kind)
-                .unwrap()
-        };
+        let kind_of = |n: &str| infos.iter().find(|a| a.name == n).map(|a| a.kind).unwrap();
         assert_eq!(kind_of("x"), AxisKind::Derived);
         assert_eq!(kind_of("i"), AxisKind::Derived);
         assert_eq!(kind_of("m"), AxisKind::Reduction);

@@ -282,8 +282,10 @@ fn zip_elementwise(
         .zip(b.data().iter())
         .map(|(&x, &y)| f(x, y))
         .collect();
-    Ok(Tensor::from_vec(data, Shape::new(a.shape().dims().to_vec()))
-        .expect("same length by construction"))
+    Ok(
+        Tensor::from_vec(data, Shape::new(a.shape().dims().to_vec()))
+            .expect("same length by construction"),
+    )
 }
 
 fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
@@ -321,13 +323,10 @@ mod tests {
         let b = Tensor::random([3, 5, 6], 2);
         let c = batch_matmul(&a, &b).unwrap();
         for bi in 0..3 {
-            let asl =
-                Tensor::from_vec(a.data()[bi * 20..(bi + 1) * 20].to_vec(), [4, 5]).unwrap();
-            let bsl =
-                Tensor::from_vec(b.data()[bi * 30..(bi + 1) * 30].to_vec(), [5, 6]).unwrap();
+            let asl = Tensor::from_vec(a.data()[bi * 20..(bi + 1) * 20].to_vec(), [4, 5]).unwrap();
+            let bsl = Tensor::from_vec(b.data()[bi * 30..(bi + 1) * 30].to_vec(), [5, 6]).unwrap();
             let csl = matmul(&asl, &bsl).unwrap();
-            let got =
-                Tensor::from_vec(c.data()[bi * 24..(bi + 1) * 24].to_vec(), [4, 6]).unwrap();
+            let got = Tensor::from_vec(c.data()[bi * 24..(bi + 1) * 24].to_vec(), [4, 6]).unwrap();
             assert!(got.allclose(&csl, 1e-5));
         }
     }

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn linearize_round_trip() {
         let s = Shape::new(vec![3, 5]);
-        let mut seen = vec![false; 15];
+        let mut seen = [false; 15];
         for r in 0..3 {
             for c in 0..5 {
                 let off = s.linearize(&[r, c]).unwrap();

@@ -88,7 +88,11 @@ mod tests {
         // at batch 32.
         let r8 = seqlen_study(&DatasetSpec::mnli(), 8, 500, 1);
         let r32 = seqlen_study(&DatasetSpec::mnli(), 32, 500, 1);
-        assert!(*r8.last().unwrap() < 0.05, "batch-8 ratio {}", r8.last().unwrap());
+        assert!(
+            *r8.last().unwrap() < 0.05,
+            "batch-8 ratio {}",
+            r8.last().unwrap()
+        );
         assert!(r32.last().unwrap() <= r8.last().unwrap());
     }
 

@@ -41,10 +41,7 @@ fn main() {
         num_experts,
         out.stats.latency_s * 1e6
     );
-    println!(
-        "expert loads (tokens): {:?}\n",
-        plan.expert_counts()
-    );
+    println!("expert loads (tokens): {:?}\n", plan.expert_counts());
 
     // --- Part 2: end-to-end Switch Transformer under each framework. ---
     println!("Switch Transformer, 128 experts, batch 32, fp16, A100:");

@@ -16,7 +16,8 @@
 //! - [`models`] — transformer/MoE model simulations used in the evaluation.
 //! - [`workloads`] — synthetic dataset/workload generators.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+//! See `README.md` for a quickstart, the workspace layout and the crate
+//! dependency graph.
 
 pub use pit_core as core;
 pub use pit_gpusim as gpusim;

@@ -131,8 +131,5 @@ fn empty_input_is_handled() {
     let mask = Mask::zeros(64, 64);
     let b = Tensor::random([64, 32], 14);
     let exec = pit.matmul_masked(&a, &mask, &b, DType::F32).unwrap();
-    assert!(exec
-        .output
-        .tensor
-        .allclose(&Tensor::zeros([64, 32]), 0.0));
+    assert!(exec.output.tensor.allclose(&Tensor::zeros([64, 32]), 0.0));
 }

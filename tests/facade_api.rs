@@ -1,0 +1,56 @@
+//! The `pit::` re-export surface: everything a downstream user needs for the
+//! paper pipeline — tensor construction → online detection → Algorithm-1
+//! kernel selection → sparse execution — must be reachable through the single
+//! facade crate, with no direct `pit_*` dependencies.
+
+use pit::core::detector::detect_mask;
+use pit::core::microtile::MicroTile;
+use pit::core::ops::Pit;
+use pit::core::selection::select_kernel;
+use pit::gpusim::{CostModel, DeviceSpec};
+use pit::kernels::tiles::TileDb;
+use pit::sparse::{generate, Mask};
+use pit::tensor::{ops, DType, Tensor};
+
+#[test]
+fn facade_exposes_the_full_pipeline() {
+    // Tensor construction.
+    let mask = generate::granular_random(128, 96, 8, 1, 0.9, 21);
+    let a = mask.apply(&Tensor::random([128, 96], 22));
+    let b = Tensor::random([96, 64], 23);
+
+    // Online detection.
+    let cost = CostModel::new(DeviceSpec::a100_80gb());
+    let index = detect_mask(&cost, &mask, MicroTile::new(8, 1), 2);
+    assert!(!index.is_empty());
+    assert!(index.stats.latency_s > 0.0);
+
+    // Algorithm-1 kernel selection.
+    let db = TileDb::profile(&cost);
+    let selection = select_kernel(&cost, &db, std::slice::from_ref(&mask), 64, DType::F32);
+    assert!(selection.predicted_cost_s > 0.0);
+    assert!(selection.predicted_cost_s <= selection.dense_cost_s);
+
+    // Sparse execution through the high-level entry point, checked against
+    // the dense oracle.
+    let pit = Pit::new(DeviceSpec::a100_80gb());
+    let exec = pit.matmul_masked(&a, &mask, &b, DType::F32).unwrap();
+    let reference = ops::matmul(&a, &b).unwrap();
+    assert!(exec.output.tensor.allclose(&reference, 1e-3));
+}
+
+#[test]
+fn facade_shorthand_reexports_are_usable() {
+    // The curated shorthand re-exports (crate roots), as the examples use
+    // them: types must be nameable without digging into submodules.
+    let mask: Mask = Mask::ones(16, 16);
+    assert_eq!(mask.nnz(), 256);
+
+    let t = Tensor::zeros([4, 4]);
+    assert_eq!(t.sparsity(), 1.0);
+
+    let spec: DeviceSpec = DeviceSpec::v100_32gb();
+    let _cost = CostModel::new(spec);
+
+    assert!(!pit::VERSION.is_empty());
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for `proptest` (the subset this workspace uses).
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the `proptest!` macro over deterministic pseudo-random sampling: each
+//! `arg in range` strategy draws uniform values from the vendored `rand`,
+//! seeded per test from an FNV hash of the test name. No shrinking and no
+//! persistence — a failing case prints its inputs so it can be replayed by
+//! hand, which is enough for the invariant suites here.
+
+use rand::rngs::StdRng;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Per-proptest configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values, mirroring `proptest::strategy::Strategy`
+/// (sampling only — no value trees or shrinking).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64, f32, f64);
+
+impl<T: Clone> Strategy for Vec<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(!self.is_empty(), "cannot sample from an empty Vec strategy");
+        let i = rand::Rng::gen_range(rng, 0..self.len());
+        self[i].clone()
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Mirror of `proptest::proptest!`: expands each property into a `#[test]`
+/// that samples its arguments `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    let inputs = format!(
+                        concat!("case {} of ", stringify!($name), ": ", $(stringify!($arg), " = {:?} "),+),
+                        case, $(&$arg),+
+                    );
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!("proptest failure at {inputs}");
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strategy),+ ) $body
+            )+
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirror of `proptest::prop_assert_eq!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+// Re-export for macro hygiene: expansions refer to `$crate::__rand` so user
+// crates don't need their own `rand` dependency.
+#[doc(hidden)]
+pub use rand as __rand;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn samples_stay_in_range(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_variant_compiles(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(crate::fnv1a("pit"), crate::fnv1a("pit"));
+        assert_ne!(crate::fnv1a("pit"), crate::fnv1a("tip"));
+    }
+}

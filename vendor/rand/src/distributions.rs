@@ -1,0 +1,210 @@
+//! Distributions and uniform-range sampling (subset of `rand::distributions`).
+
+use crate::Rng;
+
+/// Map 64 random bits to a `f64` uniform in `[0, 1)` (53-bit mantissa).
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map 64 random bits to a `f32` uniform in `[0, 1)` (24-bit mantissa).
+pub(crate) fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// A distribution over values of type `T`, mirroring
+/// `rand::distributions::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform `[0, 1)` for floats, full-range
+/// uniform for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng.next_u64())
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges (subset of
+    //! `rand::distributions::uniform`).
+
+    use super::{unit_f32, unit_f64};
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Sample from the half-open range `[low, high)`.
+        fn sample_half_open<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Sample from the closed range `[low, high]`.
+        fn sample_inclusive<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range types usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            let (low, high) = (*self.start(), *self.end());
+            assert!(low <= high, "gen_range: empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    macro_rules! impl_float_uniform {
+        ($t:ty, $unit:ident) => {
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let u = $unit(rng.next_u64());
+                    // `low + u * span` can round up to `high` (e.g. offset
+                    // ranges like 1000.0..1000.1 where the span is tiny
+                    // relative to ulp(high)); step down to the largest
+                    // representable value below `high` in that case.
+                    let v = low + u * (high - low);
+                    if v >= high {
+                        <$t>::max(low, high.next_down())
+                    } else {
+                        v
+                    }
+                }
+                fn sample_inclusive<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                    // Closed interval: rescale the unit sample from [0, 1)
+                    // to [0, 1] so `high` itself is reachable, as in real
+                    // rand's inclusive ranges.
+                    let max_below_one = 1.0 - <$t>::EPSILON;
+                    let u = (<$t>::min($unit(rng.next_u64()), max_below_one)) / max_below_one;
+                    let v = low + u * (high - low);
+                    <$t>::min(v, high)
+                }
+            }
+        };
+    }
+
+    impl_float_uniform!(f32, unit_f32);
+    impl_float_uniform!(f64, unit_f64);
+
+    macro_rules! impl_int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let span = (high as u128).wrapping_sub(low as u128) as u128;
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+                fn sample_inclusive<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let span = (high as u128).wrapping_sub(low as u128) + 1;
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_uniform!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_signed_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let span = (high as i128 - low as i128) as u128;
+                    (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+                fn sample_inclusive<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_signed_uniform!(isize, i64, i32, i16, i8);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let d = rng.gen_range(1e-9f64..1.0);
+            assert!((1e-9..1.0).contains(&d));
+            let u = rng.gen_range(0usize..=7);
+            assert!(u <= 7);
+            let g = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+            // Offset range with span far below ulp(high): the half-open
+            // contract must still exclude the upper bound.
+            let o = rng.gen_range(1000.0f32..1000.1);
+            assert!((1000.0..1000.1).contains(&o));
+            let w = rng.gen_range(5usize..6);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn standard_floats_in_unit_interval() {
+        use crate::distributions::{Distribution, Standard};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let f: f32 = Distribution::<f32>::sample(&Standard, &mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `rand` crate (API-compatible subset of rand 0.8).
+//!
+//! The build environment has no access to crates.io, so this workspace vendors
+//! a tiny deterministic implementation of the pieces it actually uses:
+//!
+//! - [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`]
+//! - [`Rng::gen_range`] over `Range`/`RangeInclusive` of the common numeric
+//!   types, [`Rng::gen_bool`] and [`Rng::gen`]
+//! - [`distributions::Standard`] / [`distributions::Distribution`]
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic
+//! across platforms, which is all the reproduction needs (statistical quality
+//! far beyond "good enough for synthetic sparsity masks").
+
+pub mod distributions;
+pub mod rngs;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed (via SplitMix64 state expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core + convenience random methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with probability `p` of returning `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        distributions::unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value of type `T` from the [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+}

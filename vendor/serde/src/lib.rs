@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides just enough of serde's surface for the workspace to compile:
+//! a marker [`Serialize`] trait and the `#[derive(Serialize)]` macro
+//! (re-exported from the vendored `serde_derive`, which expands to a plain
+//! `impl Serialize`). No actual serialization machinery is included — the
+//! gpusim stats types only *tag* themselves serializable today; a future PR
+//! that needs real JSON output should grow this crate or swap in the real one.
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Deliberately method-free: deriving it costs nothing and downstream code
+/// can use it as a bound without pulling in serialization plumbing.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
+
+// Cover the primitives and std containers a derived impl's fields might
+// require if `Serialize` is ever used as a bound.
+macro_rules! impl_serialize {
+    ($($t:ty),*) => {$( impl Serialize for $t {} )*};
+}
+
+impl_serialize!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl Serialize for &str {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}

@@ -1,0 +1,40 @@
+//! Hand-rolled `#[derive(Serialize)]` with zero dependencies (no syn/quote —
+//! the build environment is offline). Emits `impl serde::Serialize for T {}`
+//! for non-generic types; for generic types it expands to nothing, which is
+//! fine because the stub trait is a marker and nothing in the workspace
+//! requires the impl to exist.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Scan past attributes (`#[...]`), visibility and modifiers until the
+    // `struct`/`enum`/`union` keyword, whose next ident is the type name.
+    let mut name = None;
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(ty)) = tokens.next() {
+                    name = Some(ty.to_string());
+                }
+                break;
+            }
+        }
+    }
+
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+
+    // Generic type: skip the impl rather than mis-handle bounds.
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return TokenStream::new();
+    }
+
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
