@@ -8,6 +8,12 @@
 //! per-pattern kernel caching is useless, while per-*shape* rule caching is
 //! cheap and always hits) is reflected in the key: shapes and dtype, never
 //! the pattern bits.
+//!
+//! For long-running servers the cache is bounded: [`JitCache::with_capacity`]
+//! installs an LRU-ish eviction policy (least-recently-*used* entry leaves
+//! first, tracked by a monotonic access clock) so a stream of never-repeating
+//! shapes cannot grow the map without limit. Hit/miss counters stay exact in
+//! either mode, and evictions are counted separately.
 
 use crate::selection::SelectedKernel;
 use pit_tensor::DType;
@@ -26,18 +32,51 @@ pub struct KernelKey {
     pub dtype: DType,
 }
 
+/// One cached selection plus its last-used stamp (updated under the read
+/// lock via the atomic, so hits never take the write lock).
+#[derive(Debug)]
+struct Entry {
+    selection: SelectedKernel,
+    last_used: AtomicU64,
+}
+
 /// Thread-safe memoisation of Algorithm-1 selections.
 #[derive(Debug, Default)]
 pub struct JitCache {
-    map: RwLock<HashMap<KernelKey, SelectedKernel>>,
+    map: RwLock<HashMap<KernelKey, Entry>>,
+    /// `None` = unbounded (the historical default).
+    capacity: Option<usize>,
+    /// Monotonic access clock backing the LRU stamps.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl JitCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` selections;
+    /// inserting beyond that evicts the least-recently-used entry. A
+    /// `capacity` of zero is clamped to one (an always-evicting cache is
+    /// still a valid cache; an un-insertable one is not).
+    pub fn with_capacity(capacity: usize) -> Self {
+        JitCache {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The configured capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Looks up a selection, running `select` and caching on a miss.
@@ -46,16 +85,36 @@ impl JitCache {
         key: KernelKey,
         select: impl FnOnce() -> SelectedKernel,
     ) -> SelectedKernel {
-        if let Some(hit) = self.map.read().expect("jit cache poisoned").get(&key) {
+        if let Some(entry) = self.map.read().expect("jit cache poisoned").get(&key) {
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return entry.selection.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let selected = select();
-        self.map
-            .write()
-            .expect("jit cache poisoned")
-            .insert(key, selected.clone());
+        let mut map = self.map.write().expect("jit cache poisoned");
+        // Another thread may have selected the same key while we searched;
+        // either way the freshest selection wins, and eviction only applies
+        // when a genuinely new key would exceed the bound.
+        if let Some(cap) = self.capacity {
+            if !map.contains_key(&key) && map.len() >= cap {
+                if let Some(victim) = map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone())
+                {
+                    map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        map.insert(
+            key,
+            Entry {
+                selection: selected.clone(),
+                last_used: AtomicU64::new(self.tick()),
+            },
+        );
         selected
     }
 
@@ -67,6 +126,21 @@ impl JitCache {
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction of all lookups so far (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
     }
 
     /// Number of cached selections.
@@ -139,5 +213,57 @@ mod tests {
         }
         assert_eq!(cache.len(), 4);
         assert_eq!(cache.hits() + cache.misses(), 800);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = JitCache::new();
+        for m in 0..1000 {
+            cache.get_or_select(key(m), || dummy_selection(m as f64));
+        }
+        assert_eq!(cache.len(), 1000);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn capacity_bounds_len_and_counts_evictions() {
+        let cache = JitCache::with_capacity(8);
+        for m in 0..100 {
+            cache.get_or_select(key(m), || dummy_selection(m as f64));
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.misses(), 100);
+        assert_eq!(cache.evictions(), 100 - 8);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        let cache = JitCache::with_capacity(2);
+        cache.get_or_select(key(1), || dummy_selection(1.0));
+        cache.get_or_select(key(2), || dummy_selection(2.0));
+        // Touch key(1) so key(2) becomes the LRU victim.
+        cache.get_or_select(key(1), || panic!("hit expected"));
+        cache.get_or_select(key(3), || dummy_selection(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // key(1) must still be resident; key(2) must have been evicted.
+        cache.get_or_select(key(1), || panic!("key 1 was evicted"));
+        cache.get_or_select(key(2), || dummy_selection(2.5)); // re-select = miss
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn evicted_key_reselects_and_counters_stay_exact() {
+        let cache = JitCache::with_capacity(1);
+        cache.get_or_select(key(1), || dummy_selection(1.0));
+        cache.get_or_select(key(2), || dummy_selection(2.0));
+        cache.get_or_select(key(1), || dummy_selection(1.0));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.evictions(), 2);
+        assert!((cache.hit_rate() - 0.0).abs() < 1e-12);
+        let c2 = JitCache::with_capacity(0); // clamped to 1
+        assert_eq!(c2.capacity(), Some(1));
     }
 }

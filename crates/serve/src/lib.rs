@@ -1,0 +1,35 @@
+//! `pit-serve` — a concurrent serving runtime with padding-free
+//! continuous batching.
+//!
+//! The paper's Figure 2c shows where serving throughput goes to die:
+//! padded batches process `batch × max_len` tokens while users only sent
+//! `Σ len` of them. Because PIT's permutation-invariant micro-tile kernels
+//! operate at *token* granularity, a serving scheduler is free to pack
+//! whole requests back-to-back up to a token budget — no rectangle, no
+//! waste — and the §5.6 observation (shapes repeat, sparsity patterns
+//! don't) makes one shared per-shape JIT cache the right concurrency
+//! design: workers race on a bounded LRU cache of Algorithm-1 selections
+//! instead of re-searching per batch.
+//!
+//! The crate is std-only (no external runtime), in four layers:
+//!
+//! - [`queue`] — bounded MPMC admission queue; full queue = backpressure.
+//! - [`scheduler`] — [`BatchPolicy`]: padding-free token-budget packing
+//!   vs. padded-to-longest vs. TurboTransformers-style bucketing, plus the
+//!   [`FormedBatch`] accounting both the metrics and the executor consume.
+//! - [`runtime`] — the threaded closed-loop runtime ([`serve_trace`]) and
+//!   its deterministic synchronous twin ([`simulate_trace`]); workers
+//!   drive `pit_models::engine` per batch and share one `JitCache`.
+//! - [`metrics`] — p50/p95/p99 latency, tokens/s on the modelled device,
+//!   padding-waste ratio, queue depth and cache hit rate, all frozen into
+//!   a printable [`ServingReport`].
+
+pub mod metrics;
+pub mod queue;
+pub mod runtime;
+pub mod scheduler;
+
+pub use metrics::{CacheStats, Metrics, Percentiles, ServingReport};
+pub use queue::BoundedQueue;
+pub use runtime::{batch_gpu_seconds, serve_trace, simulate_trace, ServeConfig};
+pub use scheduler::{BatchPolicy, FormedBatch};

@@ -1,0 +1,290 @@
+//! Serving metrics: latency percentiles, throughput, padding waste, queue
+//! depth and JIT-cache effectiveness.
+//!
+//! Two clocks coexist by design. *Wall-clock* times (request latency,
+//! run duration) come from the real threaded runtime — queueing, batching
+//! windows and worker contention are genuinely measured. *GPU seconds*
+//! come from the analytic cost model — each formed batch's modelled
+//! execution time — so throughput (`real tokens / modelled GPU seconds`)
+//! reflects the device the cost model simulates rather than the host CPU
+//! running the simulation.
+
+use crate::scheduler::FormedBatch;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// p50/p95/p99 of a latency sample (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles from an unsorted sample; zeros when empty.
+    pub fn from_unsorted(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Percentiles {
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+        let pick = |q: f64| {
+            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            samples[idx]
+        };
+        Percentiles {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        }
+    }
+}
+
+/// JIT-cache counters at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran Algorithm-1 selection.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Snapshots the counters of a live cache.
+    pub fn of(cache: &pit_core::jit::JitCache) -> Self {
+        CacheStats {
+            hits: cache.hits(),
+            misses: cache.misses(),
+            evictions: cache.evictions(),
+        }
+    }
+
+    /// Hit fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe collector the runtime writes into while serving.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    latencies_s: Mutex<Vec<f64>>,
+    real_tokens: AtomicUsize,
+    padded_tokens: AtomicUsize,
+    batches: AtomicUsize,
+    gpu_nanos: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed batch and its modelled GPU time.
+    pub fn record_batch(&self, batch: &FormedBatch, gpu_s: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.real_tokens
+            .fetch_add(batch.real_tokens, Ordering::Relaxed);
+        self.padded_tokens
+            .fetch_add(batch.padded_tokens, Ordering::Relaxed);
+        self.gpu_nanos
+            .fetch_add((gpu_s * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end latency (seconds).
+    pub fn record_latency(&self, latency_s: f64) {
+        self.latencies_s
+            .lock()
+            .expect("metrics poisoned")
+            .push(latency_s);
+    }
+
+    /// Freezes the collector into a report.
+    pub fn report(
+        &self,
+        policy: &str,
+        wall_time_s: f64,
+        queue_high_water: usize,
+        cache: CacheStats,
+    ) -> ServingReport {
+        let latencies = self.latencies_s.lock().expect("metrics poisoned").clone();
+        ServingReport {
+            policy: policy.to_string(),
+            requests: latencies.len(),
+            batches: self.batches.load(Ordering::Relaxed),
+            real_tokens: self.real_tokens.load(Ordering::Relaxed),
+            padded_tokens: self.padded_tokens.load(Ordering::Relaxed),
+            gpu_time_s: self.gpu_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            wall_time_s,
+            latency: Percentiles::from_unsorted(latencies),
+            queue_high_water,
+            cache,
+        }
+    }
+}
+
+/// Everything one serving run produced, ready to print or compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Scheduler policy name.
+    pub policy: String,
+    /// Requests completed.
+    pub requests: usize,
+    /// Batches formed and executed.
+    pub batches: usize,
+    /// Real tokens served.
+    pub real_tokens: usize,
+    /// Tokens the modelled GPU processed (≥ real).
+    pub padded_tokens: usize,
+    /// Modelled GPU busy time (seconds) across all batches.
+    pub gpu_time_s: f64,
+    /// Wall-clock duration of the run (seconds).
+    pub wall_time_s: f64,
+    /// Per-request latency percentiles (seconds; wall clock in the
+    /// threaded runtime, virtual drain time in the synchronous simulator).
+    pub latency: Percentiles,
+    /// Deepest the admission queue got.
+    pub queue_high_water: usize,
+    /// Shared JIT-cache counters for the run.
+    pub cache: CacheStats,
+}
+
+impl ServingReport {
+    /// Fraction of processed tokens that were padding.
+    pub fn padding_waste(&self) -> f64 {
+        pit_workloads::padding_waste(self.real_tokens, self.padded_tokens)
+    }
+
+    /// Served throughput on the modelled device: real tokens per modelled
+    /// GPU second.
+    pub fn tokens_per_s(&self) -> f64 {
+        if self.gpu_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.real_tokens as f64 / self.gpu_time_s
+    }
+
+    /// Mean requests per formed batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.batches as f64
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} requests in {} batches ({:.1} req/batch)",
+            self.policy,
+            self.requests,
+            self.batches,
+            self.mean_batch_size()
+        )?;
+        writeln!(
+            f,
+            "  tokens: {} real / {} processed  (padding waste {:.1}%)",
+            self.real_tokens,
+            self.padded_tokens,
+            self.padding_waste() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  throughput: {:.0} tokens/s over {:.3} modelled GPU-s",
+            self.tokens_per_s(),
+            self.gpu_time_s
+        )?;
+        writeln!(
+            f,
+            "  latency: p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms",
+            self.latency.p50 * 1e3,
+            self.latency.p95 * 1e3,
+            self.latency.p99 * 1e3
+        )?;
+        write!(
+            f,
+            "  queue high-water {}; jit cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+            self.queue_high_water,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::BatchPolicy;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::from_unsorted(samples);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+    }
+
+    #[test]
+    fn percentiles_handle_tiny_and_empty_samples() {
+        let p = Percentiles::from_unsorted(vec![]);
+        assert_eq!(p.p50, 0.0);
+        let one = Percentiles::from_unsorted(vec![3.5]);
+        assert_eq!(one.p50, 3.5);
+        assert_eq!(one.p99, 3.5);
+        // Unsorted input is sorted internally.
+        let p = Percentiles::from_unsorted(vec![5.0, 1.0, 3.0]);
+        assert_eq!(p.p50, 3.0);
+    }
+
+    #[test]
+    fn collector_aggregates_batches() {
+        let m = Metrics::new();
+        let policy = BatchPolicy::PaddedToLongest { max_batch: 4 };
+        let b = policy.form(vec![10, 20]);
+        m.record_batch(&b, 0.5);
+        m.record_batch(&b, 0.25);
+        m.record_latency(0.010);
+        m.record_latency(0.020);
+        let cache = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let r = m.report("padded-to-longest", 1.0, 7, cache);
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.real_tokens, 60);
+        assert_eq!(r.padded_tokens, 80);
+        assert!((r.gpu_time_s - 0.75).abs() < 1e-6);
+        assert!((r.tokens_per_s() - 80.0).abs() < 1e-3);
+        assert!((r.padding_waste() - 0.25).abs() < 1e-9);
+        assert!((r.cache.hit_rate() - 0.75).abs() < 1e-9);
+        // The summary renders every headline metric.
+        let text = r.to_string();
+        assert!(text.contains("padding waste"));
+        assert!(text.contains("tokens/s"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("hit rate"));
+    }
+}

@@ -11,5 +11,6 @@ pub mod batching;
 pub mod datasets;
 pub mod patterns;
 
-pub use batching::Batch;
+pub use batching::{padding_waste, Batch, SplitBatch};
 pub use datasets::DatasetSpec;
+pub use patterns::ArrivalTrace;

@@ -8,7 +8,57 @@
 
 use crate::datasets::DatasetSpec;
 use pit_sparse::generate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+
+/// A request arrival trace for serving experiments: per-request prompt
+/// lengths drawn from a dataset's length distribution, plus Poisson
+/// arrival offsets. Closed-loop load generators use only the lengths;
+/// open-loop replay (a ROADMAP follow-up) uses the timestamps too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Prompt length of each request, in arrival order.
+    pub lens: Vec<usize>,
+    /// Arrival time of each request (seconds since trace start),
+    /// non-decreasing.
+    pub arrival_s: Vec<f64>,
+}
+
+impl ArrivalTrace {
+    /// Samples a trace of `n` requests from `spec`'s length distribution
+    /// with exponential (Poisson-process) inter-arrivals at `rate_rps`
+    /// requests per second. Deterministic per seed.
+    pub fn poisson(spec: &DatasetSpec, n: usize, rate_rps: f64, seed: u64) -> Self {
+        assert!(rate_rps > 0.0, "arrival rate must be positive");
+        let lens = spec.sample_lengths(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut t = 0.0;
+        let arrival_s = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -u.ln() / rate_rps;
+                t
+            })
+            .collect();
+        ArrivalTrace { lens, arrival_s }
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// True when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// Total real tokens across all requests.
+    pub fn total_tokens(&self) -> usize {
+        self.lens.iter().sum()
+    }
+}
 
 /// Cumulative hit ratio after each batch: entry `i` is
 /// `hits_so_far / (i + 1)`.
@@ -63,6 +113,24 @@ pub fn relu_study(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arrival_trace_is_deterministic_and_ordered() {
+        let spec = DatasetSpec::mnli();
+        let a = ArrivalTrace::poisson(&spec, 128, 50.0, 7);
+        let b = ArrivalTrace::poisson(&spec, 128, 50.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        assert!(a.arrival_s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a
+            .lens
+            .iter()
+            .all(|&l| l >= spec.min_len && l <= spec.max_len));
+        assert_eq!(a.total_tokens(), a.lens.iter().sum::<usize>());
+        // Mean inter-arrival should be near 1/rate.
+        let mean_gap = a.arrival_s.last().unwrap() / 128.0;
+        assert!((mean_gap - 0.02).abs() < 0.01, "mean gap {mean_gap}");
+    }
 
     #[test]
     fn identical_patterns_hit() {

@@ -15,6 +15,8 @@
 //!   SRead/SWrite, the online sparsity detector and kernel selection.
 //! - [`models`] — transformer/MoE model simulations used in the evaluation.
 //! - [`workloads`] — synthetic dataset/workload generators.
+//! - [`serve`] — concurrent serving runtime: bounded admission,
+//!   padding-free continuous batching, worker pool, serving metrics.
 //!
 //! See `README.md` for a quickstart, the workspace layout and the crate
 //! dependency graph.
@@ -23,6 +25,7 @@ pub use pit_core as core;
 pub use pit_gpusim as gpusim;
 pub use pit_kernels as kernels;
 pub use pit_models as models;
+pub use pit_serve as serve;
 pub use pit_sparse as sparse;
 pub use pit_tensor as tensor;
 pub use pit_workloads as workloads;
