@@ -1,0 +1,87 @@
+//! Page geometry: how many tokens fit in a page, how many pages exist,
+//! and how many bytes one page costs on the device.
+
+/// Geometry of one paged KV-cache pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Token slots per page. One logical page holds `page_size` tokens'
+    /// keys and values for *every* layer (the per-layer physical pages
+    /// share one page table, so they allocate and free together).
+    pub page_size: usize,
+    /// Total pages in the pool.
+    pub num_pages: usize,
+    /// Bytes one logical page occupies on the device (0 when the pool was
+    /// sized in pages directly rather than from a memory budget).
+    pub page_bytes: usize,
+}
+
+impl KvConfig {
+    /// A pool of `num_pages` pages of `page_size` tokens each.
+    pub fn new(page_size: usize, num_pages: usize) -> Self {
+        KvConfig {
+            page_size: page_size.max(1),
+            num_pages,
+            page_bytes: 0,
+        }
+    }
+
+    /// Sizes a pool from a device-memory budget: one logical page stores
+    /// `page_size` tokens × `layers` layers × K and V × `hidden` values of
+    /// `elem_bytes` each; the pool gets every whole page that fits in
+    /// `budget_bytes`.
+    pub fn for_budget(
+        budget_bytes: usize,
+        page_size: usize,
+        layers: usize,
+        hidden: usize,
+        elem_bytes: usize,
+    ) -> Self {
+        let page_size = page_size.max(1);
+        let page_bytes = (page_size * layers * 2 * hidden * elem_bytes).max(1);
+        KvConfig {
+            page_size,
+            num_pages: budget_bytes / page_bytes,
+            page_bytes,
+        }
+    }
+
+    /// Pages needed to hold `tokens` token slots.
+    pub fn pages_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_size)
+    }
+
+    /// Token slots the whole pool can hold.
+    pub fn token_capacity(&self) -> usize {
+        self.num_pages * self.page_size
+    }
+
+    /// Bytes the whole pool occupies (0 when `page_bytes` is unknown).
+    pub fn pool_bytes(&self) -> usize {
+        self.num_pages * self.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let cfg = KvConfig::new(16, 100);
+        assert_eq!(cfg.pages_for(0), 0);
+        assert_eq!(cfg.pages_for(1), 1);
+        assert_eq!(cfg.pages_for(16), 1);
+        assert_eq!(cfg.pages_for(17), 2);
+        assert_eq!(cfg.token_capacity(), 1600);
+    }
+
+    #[test]
+    fn budget_sizing_matches_model_geometry() {
+        // BERT-base-ish: 12 layers, hidden 768, fp32. One 16-token page =
+        // 16 * 12 * 2 * 768 * 4 bytes = 1_179_648 bytes.
+        let cfg = KvConfig::for_budget(1 << 30, 16, 12, 768, 4);
+        assert_eq!(cfg.page_bytes, 16 * 12 * 2 * 768 * 4);
+        assert_eq!(cfg.num_pages, (1usize << 30) / cfg.page_bytes);
+        assert!(cfg.pool_bytes() <= 1 << 30);
+    }
+}

@@ -1,0 +1,30 @@
+//! `pit-kv` — a paged KV-cache manager for decode-phase serving.
+//!
+//! Autoregressive decode turns the KV cache into the scarce serving
+//! resource: every live request holds keys/values for its whole context
+//! and grows by one token per iteration, so a contiguous worst-case
+//! reservation per request (what static padded batching does) wastes the
+//! same way padded batches waste compute. This crate manages the cache as
+//! fixed-size *token pages* instead — the vLLM-style design that PIT's
+//! token-granularity kernels make natural, since a gather over a page
+//! table is exactly the permutation-invariant load PIT's SRead performs.
+//!
+//! Two layers:
+//!
+//! - [`KvConfig`] — page geometry: tokens per page, pool capacity, and the
+//!   bytes one page occupies for a given model (all layers, K and V).
+//! - [`PagedKvCache`] — the block allocator: `alloc`/`extend`/`free` per
+//!   sequence, reservation-aware accounting (a sequence may reserve more
+//!   slots than it has used — how static baselines are modelled),
+//!   occupancy/fragmentation stats, an out-of-pages admission signal, and
+//!   conservation counters (`allocated_total == freed_total + live`) that
+//!   the workspace proptest suite pins down.
+//!
+//! The crate is dependency-free; `pit_serve` wires it into the decode
+//! scheduler's admission and preemption decisions.
+
+pub mod config;
+pub mod pager;
+
+pub use config::KvConfig;
+pub use pager::{KvError, KvStats, PagedKvCache, SeqId};

@@ -1,0 +1,489 @@
+//! The block allocator: per-sequence page lists over one free list, with
+//! reservation-aware accounting and conservation counters.
+
+use crate::config::KvConfig;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier the caller assigns to one sequence (request).
+pub type SeqId = u64;
+
+/// Why a KV-cache operation failed. Allocation failures leave the pool
+/// unchanged — an admission signal, not a partial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Not enough free pages for the requested allocation/extension.
+    OutOfPages {
+        /// Pages the operation needed.
+        needed: usize,
+        /// Pages currently free.
+        free: usize,
+    },
+    /// `alloc` for a sequence that already holds pages.
+    AlreadyAllocated(SeqId),
+    /// `extend`/`free` for a sequence that holds no pages (catches
+    /// double-frees: the second `free` of a sequence returns this).
+    UnknownSeq(SeqId),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::OutOfPages { needed, free } => {
+                write!(f, "out of KV pages: need {needed}, only {free} free")
+            }
+            KvError::AlreadyAllocated(s) => write!(f, "sequence {s} already allocated"),
+            KvError::UnknownSeq(s) => write!(f, "sequence {s} holds no pages"),
+        }
+    }
+}
+
+/// Pages one live sequence holds.
+#[derive(Debug, Clone)]
+struct SeqPages {
+    /// Physical page ids, in allocation order (the page table).
+    pages: Vec<u32>,
+    /// Token slots actually written (cached context length).
+    used_tokens: usize,
+    /// Token slots reserved (`>= used_tokens`; pages cover this).
+    reserved_tokens: usize,
+}
+
+/// A paged KV cache: fixed-size token pages handed out from a free list.
+///
+/// Continuous batching allocates pages on demand (`alloc` the prompt, then
+/// `extend` by one token per decode step); static padded baselines reserve
+/// their worst case up front (`alloc_reserved`). The accounting separates
+/// *used* token slots from *reserved* ones so [`PagedKvCache::fragmentation`]
+/// exposes exactly the waste the paging design removes.
+#[derive(Debug)]
+pub struct PagedKvCache {
+    cfg: KvConfig,
+    /// Free physical pages (LIFO — recently freed pages are reused first,
+    /// the cache-friendly order).
+    free: Vec<u32>,
+    /// Live sequences and their page tables.
+    seqs: HashMap<SeqId, SeqPages>,
+    live_pages: usize,
+    used_tokens: usize,
+    reserved_tokens: usize,
+    // Conservation + observability counters.
+    allocated_total: u64,
+    freed_total: u64,
+    peak_live_pages: usize,
+    alloc_failures: u64,
+    preemptions: u64,
+}
+
+impl PagedKvCache {
+    /// An empty pool with every page free.
+    pub fn new(cfg: KvConfig) -> Self {
+        PagedKvCache {
+            cfg,
+            free: (0..cfg.num_pages as u32).rev().collect(),
+            seqs: HashMap::new(),
+            live_pages: 0,
+            used_tokens: 0,
+            reserved_tokens: 0,
+            allocated_total: 0,
+            freed_total: 0,
+            peak_live_pages: 0,
+            alloc_failures: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// The pool geometry.
+    pub fn config(&self) -> &KvConfig {
+        &self.cfg
+    }
+
+    /// Whether `tokens` more slots could be allocated right now — the
+    /// scheduler's admission signal.
+    pub fn can_admit(&self, tokens: usize) -> bool {
+        self.cfg.pages_for(tokens) <= self.free.len()
+    }
+
+    /// Allocates pages for a new sequence holding `tokens` written slots.
+    /// Returns the number of pages taken.
+    pub fn alloc(&mut self, seq: SeqId, tokens: usize) -> Result<usize, KvError> {
+        self.alloc_reserved(seq, tokens, tokens)
+    }
+
+    /// Allocates pages covering `reserved_tokens` slots of which only
+    /// `used_tokens` are written — how a static baseline's worst-case
+    /// contiguous reservation is modelled. Fails atomically.
+    pub fn alloc_reserved(
+        &mut self,
+        seq: SeqId,
+        used_tokens: usize,
+        reserved_tokens: usize,
+    ) -> Result<usize, KvError> {
+        let reserved_tokens = reserved_tokens.max(used_tokens);
+        if self.seqs.contains_key(&seq) {
+            return Err(KvError::AlreadyAllocated(seq));
+        }
+        let needed = self.cfg.pages_for(reserved_tokens);
+        if needed > self.free.len() {
+            self.alloc_failures += 1;
+            return Err(KvError::OutOfPages {
+                needed,
+                free: self.free.len(),
+            });
+        }
+        let pages: Vec<u32> = (0..needed)
+            .map(|_| self.free.pop().expect("checked"))
+            .collect();
+        self.live_pages += needed;
+        self.used_tokens += used_tokens;
+        self.reserved_tokens += reserved_tokens;
+        self.allocated_total += needed as u64;
+        self.peak_live_pages = self.peak_live_pages.max(self.live_pages);
+        self.seqs.insert(
+            seq,
+            SeqPages {
+                pages,
+                used_tokens,
+                reserved_tokens,
+            },
+        );
+        Ok(needed)
+    }
+
+    /// Grows a sequence by `new_tokens` written slots, allocating pages
+    /// only when growth crosses the reservation's page boundary. Returns
+    /// the pages newly taken (usually 0 — decode allocates one page every
+    /// `page_size` steps). Fails atomically on page exhaustion.
+    pub fn extend(&mut self, seq: SeqId, new_tokens: usize) -> Result<usize, KvError> {
+        let free_len = self.free.len();
+        let s = self.seqs.get_mut(&seq).ok_or(KvError::UnknownSeq(seq))?;
+        let target_used = s.used_tokens + new_tokens;
+        let target_reserved = s.reserved_tokens.max(target_used);
+        let needed_pages = self.cfg.pages_for(target_reserved);
+        let extra = needed_pages.saturating_sub(s.pages.len());
+        if extra > free_len {
+            self.alloc_failures += 1;
+            return Err(KvError::OutOfPages {
+                needed: extra,
+                free: free_len,
+            });
+        }
+        for _ in 0..extra {
+            s.pages.push(self.free.pop().expect("checked"));
+        }
+        self.used_tokens += target_used - s.used_tokens;
+        self.reserved_tokens += target_reserved - s.reserved_tokens;
+        s.used_tokens = target_used;
+        s.reserved_tokens = target_reserved;
+        self.live_pages += extra;
+        self.allocated_total += extra as u64;
+        self.peak_live_pages = self.peak_live_pages.max(self.live_pages);
+        Ok(extra)
+    }
+
+    /// Returns every page of `seq` to the free list (request completed).
+    /// Returns the pages freed; a second `free` of the same sequence is a
+    /// double-free and fails with [`KvError::UnknownSeq`].
+    pub fn free(&mut self, seq: SeqId) -> Result<usize, KvError> {
+        let s = self.seqs.remove(&seq).ok_or(KvError::UnknownSeq(seq))?;
+        let n = s.pages.len();
+        self.free.extend(s.pages);
+        self.live_pages -= n;
+        self.used_tokens -= s.used_tokens;
+        self.reserved_tokens -= s.reserved_tokens;
+        self.freed_total += n as u64;
+        Ok(n)
+    }
+
+    /// Frees a sequence because the scheduler evicted it to make room
+    /// (its cache must be recomputed on re-admission). Same page
+    /// accounting as [`PagedKvCache::free`], plus the preemption counter.
+    pub fn preempt(&mut self, seq: SeqId) -> Result<usize, KvError> {
+        let n = self.free(seq)?;
+        self.preemptions += 1;
+        Ok(n)
+    }
+
+    /// Cached context length of a live sequence.
+    pub fn seq_tokens(&self, seq: SeqId) -> Option<usize> {
+        self.seqs.get(&seq).map(|s| s.used_tokens)
+    }
+
+    /// Number of live sequences.
+    pub fn num_seqs(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Pages currently allocated to sequences.
+    pub fn live_pages(&self) -> usize {
+        self.live_pages
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Token slots written across all live sequences.
+    pub fn used_tokens(&self) -> usize {
+        self.used_tokens
+    }
+
+    /// Fraction of the pool's pages currently allocated (0..=1).
+    pub fn occupancy(&self) -> f64 {
+        if self.cfg.num_pages == 0 {
+            return 0.0;
+        }
+        self.live_pages as f64 / self.cfg.num_pages as f64
+    }
+
+    /// Fraction of allocated token slots not holding a written token —
+    /// last-page slack plus unused reservation. Paged on-demand allocation
+    /// keeps this below `page_size / context`; worst-case reservation
+    /// (static padded batching) drives it toward the padding-waste ratio.
+    pub fn fragmentation(&self) -> f64 {
+        let slots = self.live_pages * self.cfg.page_size;
+        if slots == 0 {
+            return 0.0;
+        }
+        1.0 - self.used_tokens as f64 / slots as f64
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            page_size: self.cfg.page_size,
+            capacity_pages: self.cfg.num_pages,
+            live_pages: self.live_pages,
+            free_pages: self.free.len(),
+            used_tokens: self.used_tokens,
+            occupancy: self.occupancy(),
+            fragmentation: self.fragmentation(),
+            peak_live_pages: self.peak_live_pages,
+            allocated_total: self.allocated_total,
+            freed_total: self.freed_total,
+            alloc_failures: self.alloc_failures,
+            preemptions: self.preemptions,
+        }
+    }
+
+    /// Checks the pool's conservation invariants; returns a description of
+    /// the first violation. The proptest suite calls this after every
+    /// operation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.free.len() + self.live_pages != self.cfg.num_pages {
+            return Err(format!(
+                "page leak: {} free + {} live != {} capacity",
+                self.free.len(),
+                self.live_pages,
+                self.cfg.num_pages
+            ));
+        }
+        if self.allocated_total != self.freed_total + self.live_pages as u64 {
+            return Err(format!(
+                "conservation: allocated {} != freed {} + live {}",
+                self.allocated_total, self.freed_total, self.live_pages
+            ));
+        }
+        let seq_pages: usize = self.seqs.values().map(|s| s.pages.len()).sum();
+        if seq_pages != self.live_pages {
+            return Err(format!(
+                "page-table mismatch: seqs hold {seq_pages}, live says {}",
+                self.live_pages
+            ));
+        }
+        let mut seen = vec![false; self.cfg.num_pages];
+        for &p in self
+            .free
+            .iter()
+            .chain(self.seqs.values().flat_map(|s| &s.pages))
+        {
+            let p = p as usize;
+            if p >= self.cfg.num_pages {
+                return Err(format!("page id {p} out of range"));
+            }
+            if seen[p] {
+                return Err(format!("page {p} owned twice"));
+            }
+            seen[p] = true;
+        }
+        if self.occupancy() > 1.0 {
+            return Err(format!("occupancy {} > 1", self.occupancy()));
+        }
+        Ok(())
+    }
+}
+
+/// Point-in-time snapshot of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvStats {
+    /// Token slots per page.
+    pub page_size: usize,
+    /// Total pages in the pool.
+    pub capacity_pages: usize,
+    /// Pages allocated to live sequences.
+    pub live_pages: usize,
+    /// Pages on the free list.
+    pub free_pages: usize,
+    /// Written token slots across live sequences.
+    pub used_tokens: usize,
+    /// `live_pages / capacity_pages`.
+    pub occupancy: f64,
+    /// Allocated-but-unwritten slot fraction.
+    pub fragmentation: f64,
+    /// High-water mark of live pages.
+    pub peak_live_pages: usize,
+    /// Pages ever handed out.
+    pub allocated_total: u64,
+    /// Pages ever returned.
+    pub freed_total: u64,
+    /// Rejected allocations/extensions (out-of-pages admission signals).
+    pub alloc_failures: u64,
+    /// Sequences evicted to reclaim pages.
+    pub preemptions: u64,
+}
+
+impl KvStats {
+    /// True when every allocated page was eventually freed (end-of-run
+    /// leak check: nothing live, books balanced).
+    pub fn conserved(&self) -> bool {
+        self.live_pages == 0 && self.allocated_total == self.freed_total
+    }
+}
+
+impl fmt::Display for KvStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kv: {}/{} pages live (peak {}), occupancy {:.1}%, fragmentation {:.1}%, \
+             {} alloc / {} freed, {} failures, {} preemptions",
+            self.live_pages,
+            self.capacity_pages,
+            self.peak_live_pages,
+            self.occupancy * 100.0,
+            self.fragmentation * 100.0,
+            self.allocated_total,
+            self.freed_total,
+            self.alloc_failures,
+            self.preemptions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(page_size: usize, pages: usize) -> PagedKvCache {
+        PagedKvCache::new(KvConfig::new(page_size, pages))
+    }
+
+    #[test]
+    fn alloc_extend_free_roundtrip() {
+        let mut kv = pool(16, 8);
+        assert_eq!(kv.alloc(1, 20).unwrap(), 2); // 20 tokens -> 2 pages
+        assert_eq!(kv.live_pages(), 2);
+        assert_eq!(kv.seq_tokens(1), Some(20));
+        // 21..=32 fit in the second page; 33 crosses into a third.
+        assert_eq!(kv.extend(1, 12).unwrap(), 0);
+        assert_eq!(kv.extend(1, 1).unwrap(), 1);
+        assert_eq!(kv.live_pages(), 3);
+        assert_eq!(kv.free(1).unwrap(), 3);
+        assert_eq!(kv.free_pages(), 8);
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_pages_is_atomic_and_counted() {
+        let mut kv = pool(16, 4);
+        kv.alloc(1, 48).unwrap(); // 3 pages
+        let err = kv.alloc(2, 32).unwrap_err(); // needs 2, only 1 free
+        assert_eq!(err, KvError::OutOfPages { needed: 2, free: 1 });
+        assert_eq!(kv.live_pages(), 3);
+        assert_eq!(kv.num_seqs(), 1);
+        assert!(!kv.can_admit(32));
+        assert!(kv.can_admit(16));
+        assert_eq!(kv.stats().alloc_failures, 1);
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extend_failure_leaves_sequence_untouched() {
+        let mut kv = pool(4, 2);
+        kv.alloc(1, 8).unwrap(); // both pages
+        let before = kv.seq_tokens(1).unwrap();
+        assert!(matches!(
+            kv.extend(1, 1),
+            Err(KvError::OutOfPages { needed: 1, free: 0 })
+        ));
+        assert_eq!(kv.seq_tokens(1), Some(before));
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn double_free_and_unknown_seq_are_errors() {
+        let mut kv = pool(16, 4);
+        kv.alloc(7, 10).unwrap();
+        kv.free(7).unwrap();
+        assert_eq!(kv.free(7), Err(KvError::UnknownSeq(7)));
+        assert_eq!(kv.extend(9, 1), Err(KvError::UnknownSeq(9)));
+        assert_eq!(kv.alloc(7, 10).map(|_| ()), Ok(())); // id reusable after free
+        assert_eq!(kv.alloc(7, 10), Err(KvError::AlreadyAllocated(7)));
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reservation_shows_up_as_fragmentation() {
+        let mut kv = pool(16, 64);
+        // On-demand: 100 used tokens in ceil(100/16)=7 pages -> slack 12/112.
+        kv.alloc(1, 100).unwrap();
+        assert!(kv.fragmentation() < 0.12);
+        // Worst-case reservation: 100 used, 512 reserved -> 32 pages.
+        kv.alloc_reserved(2, 100, 512).unwrap();
+        assert_eq!(kv.live_pages(), 7 + 32);
+        assert!(kv.fragmentation() > 0.5, "frag {}", kv.fragmentation());
+        // Extending inside the reservation takes no pages.
+        assert_eq!(kv.extend(2, 50).unwrap(), 0);
+        kv.free(1).unwrap();
+        kv.free(2).unwrap();
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn preemption_counts_and_frees() {
+        let mut kv = pool(8, 4);
+        kv.alloc(1, 16).unwrap();
+        kv.alloc(2, 16).unwrap();
+        assert_eq!(kv.preempt(2).unwrap(), 2);
+        assert_eq!(kv.stats().preemptions, 1);
+        assert_eq!(kv.free_pages(), 2);
+        // Preempting a gone sequence is still a double-free.
+        assert_eq!(kv.preempt(2), Err(KvError::UnknownSeq(2)));
+        assert_eq!(kv.stats().preemptions, 1);
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn occupancy_tracks_peak() {
+        let mut kv = pool(8, 10);
+        kv.alloc(1, 40).unwrap(); // 5 pages
+        kv.alloc(2, 24).unwrap(); // 3 pages
+        assert!((kv.occupancy() - 0.8).abs() < 1e-12);
+        kv.free(1).unwrap();
+        assert_eq!(kv.stats().peak_live_pages, 8);
+        assert!((kv.occupancy() - 0.3).abs() < 1e-12);
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_render_every_headline_number() {
+        let mut kv = pool(8, 10);
+        kv.alloc(1, 12).unwrap();
+        let text = kv.stats().to_string();
+        assert!(text.contains("occupancy"));
+        assert!(text.contains("fragmentation"));
+        assert!(text.contains("preemptions"));
+    }
+}

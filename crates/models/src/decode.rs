@@ -1,0 +1,281 @@
+//! The decode-step engine path: one autoregressive serving iteration.
+//!
+//! Prefill and decode stress opposite ends of the device. Prefill is the
+//! encoder-style pass the rest of this crate models — GEMMs at
+//! `m = Σ prompt tokens`, attention quadratic in each sequence's length.
+//! A decode step instead contributes *one* query token per live request:
+//! its GEMMs run at `m = 1` per request (so a batch of `b` requests is an
+//! `m = b` GEMM only if the runtime packs them — exactly the
+//! padding-free-vs-rectangle argument again), and its attention reads the
+//! whole cached context per request, linear in context length and
+//! memory-bound on the K/V stream.
+//!
+//! [`StepShape`] describes one mixed iteration — which prompt lengths are
+//! being prefilled and which cached context lengths are being decoded —
+//! and [`run_step`] charges the full layer stack for it on an [`Engine`].
+//! The serving runtime (`pit_serve`) decides *what* goes into each step;
+//! this module only prices it.
+
+use crate::configs::ModelConfig;
+use crate::engine::Engine;
+
+/// Work of one serving iteration: prefill sequences entering the batch
+/// plus decode slots continuing it. Lengths are *effective* (what the GPU
+/// processes): a padding-free runtime passes real lengths, a padded one
+/// passes the rectangle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepShape {
+    /// Per-sequence processed prompt lengths prefilled whole this step.
+    pub prefill_lens: Vec<usize>,
+    /// Chunked-prefill pieces as `(chunk_rows, context_after_chunk)`:
+    /// `chunk_rows` new prompt tokens attending the `context_after_chunk`
+    /// tokens cached once the chunk lands (Sarathi-style chunked prefill —
+    /// how a long prompt shares iterations with decode without stalling
+    /// inter-token latency). A fresh whole prompt of length `l` is the
+    /// chunk `(l, l)`.
+    pub chunks: Vec<(usize, usize)>,
+    /// Per-slot cached context lengths attended by this step's decode
+    /// tokens (one query token per slot; a padded runtime keeps finished
+    /// requests' slots in here at the rectangle's context length).
+    pub decode_ctx: Vec<usize>,
+}
+
+impl StepShape {
+    /// A pure-prefill step.
+    pub fn prefill(lens: Vec<usize>) -> Self {
+        StepShape {
+            prefill_lens: lens,
+            chunks: Vec::new(),
+            decode_ctx: Vec::new(),
+        }
+    }
+
+    /// A pure-decode step.
+    pub fn decode(ctx: Vec<usize>) -> Self {
+        StepShape {
+            prefill_lens: Vec::new(),
+            chunks: Vec::new(),
+            decode_ctx: ctx,
+        }
+    }
+
+    /// Rows of the step's token-granular GEMMs: every prefill and chunk
+    /// token plus one query token per decode slot.
+    pub fn rows(&self) -> usize {
+        self.prefill_tokens() + self.chunk_tokens() + self.decode_ctx.len()
+    }
+
+    /// Tokens prefilled whole this step.
+    pub fn prefill_tokens(&self) -> usize {
+        self.prefill_lens.iter().sum()
+    }
+
+    /// Prompt tokens landed through chunks this step.
+    pub fn chunk_tokens(&self) -> usize {
+        self.chunks.iter().map(|&(c, _)| c).sum()
+    }
+
+    /// Decode slots (= decode query tokens) this step.
+    pub fn decode_slots(&self) -> usize {
+        self.decode_ctx.len()
+    }
+
+    /// True when the step carries no work.
+    pub fn is_empty(&self) -> bool {
+        self.prefill_lens.is_empty() && self.chunks.is_empty() && self.decode_ctx.is_empty()
+    }
+
+    /// Attention-score elements this step computes: `Σ l²` over whole
+    /// prefills, `Σ chunk·ctx` over chunks, `Σ ctx` over decode slots.
+    pub fn score_elems(&self) -> f64 {
+        let prefill: f64 = self.prefill_lens.iter().map(|&l| (l * l) as f64).sum();
+        let chunked: f64 = self.chunks.iter().map(|&(c, ctx)| (c * ctx) as f64).sum();
+        let decode: f64 = self.decode_ctx.iter().map(|&c| c as f64).sum();
+        prefill + chunked + decode
+    }
+
+    /// Cached tokens this step streams from the KV cache: every decode
+    /// slot reads its whole context; every chunk reads the tokens cached
+    /// *before* it (its own rows are still in registers/SMEM).
+    pub fn kv_read_tokens(&self) -> usize {
+        let decode: usize = self.decode_ctx.iter().sum();
+        let chunked: usize = self.chunks.iter().map(|&(c, ctx)| ctx - c).sum();
+        decode + chunked
+    }
+
+    /// New tokens whose K/V rows this step appends to the cache.
+    pub fn kv_write_tokens(&self) -> usize {
+        self.prefill_tokens() + self.chunk_tokens() + self.decode_slots()
+    }
+}
+
+/// Charges one serving iteration of `cfg` — embeddings, every layer's
+/// attention + FFN over the step's mixed prefill/decode shape, and the LM
+/// head — to `eng`.
+///
+/// Decode attention is priced per slot as two `1 × ctx` GEMV-like products
+/// (scores and context) whose arithmetic is `2 · ctx · hidden` FLOPs each
+/// but whose latency is dominated by streaming the cached K and V
+/// (`2 · ctx · hidden` elements) from HBM; `gemm_flops`' memory bound
+/// models exactly that, which is why inter-token latency grows with
+/// context length even though per-token FLOPs are tiny.
+pub fn run_step(eng: &mut Engine, cfg: &ModelConfig, shape: &StepShape) {
+    let rows = shape.rows();
+    if rows == 0 {
+        return;
+    }
+    let elem = eng.elem() as f64;
+    let score_elems = shape.score_elems();
+    let kv_tokens = shape.kv_read_tokens();
+    eng.elementwise("embed", rows * cfg.hidden, 1);
+    for layer in 0..cfg.layers {
+        let p = format!("l{layer}");
+        eng.gemm(&format!("{p}.qkv"), rows, cfg.hidden, 3 * cfg.hidden);
+        // Scores + context: quadratic for prefill sequences, linear in the
+        // cached context for decode slots.
+        let score_flops = 2.0 * score_elems * cfg.hidden as f64;
+        // Prefill reads its score tile per head; decode additionally
+        // streams the K (scores) or V (context) cache rows it attends.
+        let score_bytes =
+            score_elems * cfg.heads as f64 * elem + (kv_tokens * cfg.hidden) as f64 * elem;
+        eng.gemm_flops(&format!("{p}.scores"), score_flops, score_bytes);
+        eng.softmax(
+            &format!("{p}.softmax"),
+            (score_elems * cfg.heads as f64 / 64.0).ceil() as usize,
+            64,
+        );
+        eng.gemm_flops(&format!("{p}.context"), score_flops, score_bytes);
+        eng.gemm(&format!("{p}.out"), rows, cfg.hidden, cfg.hidden);
+        eng.layernorm(&format!("{p}.attn_ln"), rows, cfg.hidden);
+        eng.gemm(&format!("{p}.fc1"), rows, cfg.hidden, cfg.ffn);
+        eng.elementwise(&format!("{p}.act"), rows * cfg.ffn, 1);
+        eng.gemm(&format!("{p}.fc2"), rows, cfg.ffn, cfg.hidden);
+        eng.layernorm(&format!("{p}.ffn_ln"), rows, cfg.hidden);
+        eng.elementwise(&format!("{p}.residual"), rows * cfg.hidden, 2);
+        // Each decode slot appends this layer's new K/V row; prefills and
+        // chunks write every landed token's rows.
+        eng.elementwise(
+            &format!("{p}.kv_append"),
+            shape.kv_write_tokens() * 2 * cfg.hidden,
+            1,
+        );
+    }
+    eng.gemm("head", rows, cfg.hidden, cfg.vocab.min(4096));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Framework;
+    use pit_gpusim::DeviceSpec;
+    use pit_tensor::DType;
+
+    fn cfg() -> ModelConfig {
+        let mut m = ModelConfig::bert_base();
+        m.layers = 2;
+        m
+    }
+
+    fn eng() -> Engine {
+        Engine::new(DeviceSpec::a100_80gb(), DType::F32, Framework::Pit)
+    }
+
+    fn step_ms(shape: &StepShape) -> f64 {
+        let mut e = eng();
+        run_step(&mut e, &cfg(), shape);
+        e.latency_ms()
+    }
+
+    #[test]
+    fn shape_accounting() {
+        let s = StepShape {
+            prefill_lens: vec![30, 10],
+            chunks: vec![(16, 80)],
+            decode_ctx: vec![100, 7, 64],
+        };
+        assert_eq!(s.rows(), 40 + 16 + 3);
+        assert_eq!(s.prefill_tokens(), 40);
+        assert_eq!(s.chunk_tokens(), 16);
+        assert_eq!(s.decode_slots(), 3);
+        // Decode reads whole contexts; the chunk reads its 64 prior rows.
+        assert_eq!(s.kv_read_tokens(), 171 + 64);
+        assert_eq!(s.kv_write_tokens(), 40 + 16 + 3);
+        assert_eq!(
+            s.score_elems(),
+            (900 + 100) as f64 + (16 * 80) as f64 + 171.0
+        );
+        assert!(StepShape::default().is_empty());
+    }
+
+    #[test]
+    fn chunked_prefill_sums_to_roughly_whole_prefill_attention() {
+        // Four 64-token chunks of a 256-token prompt cover more score
+        // elements than the causal triangle but stay within 2x of the
+        // whole-prompt square (the model uses full squares for whole
+        // prefills too).
+        let whole = StepShape::prefill(vec![256]).score_elems();
+        let chunked: f64 = (1..=4)
+            .map(|i| {
+                StepShape {
+                    prefill_lens: vec![],
+                    chunks: vec![(64, 64 * i)],
+                    decode_ctx: vec![],
+                }
+                .score_elems()
+            })
+            .sum();
+        assert!(chunked <= whole);
+        assert!(chunked >= whole * 0.5);
+    }
+
+    #[test]
+    fn empty_step_costs_nothing() {
+        assert_eq!(step_ms(&StepShape::default()), 0.0);
+    }
+
+    #[test]
+    fn decode_cost_grows_with_context_length() {
+        // Same rows, longer cached context -> more K/V streaming.
+        let short = step_ms(&StepShape::decode(vec![64; 8]));
+        let long = step_ms(&StepShape::decode(vec![2048; 8]));
+        assert!(long > short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn decode_step_is_cheaper_than_prefilling_the_context() {
+        // One decode token over a 512-token cache is far cheaper than
+        // re-prefilling all 512 tokens (the point of caching KV at all).
+        let decode = step_ms(&StepShape::decode(vec![512]));
+        let prefill = step_ms(&StepShape::prefill(vec![512]));
+        assert!(decode * 3.0 < prefill, "decode {decode} prefill {prefill}");
+    }
+
+    #[test]
+    fn batched_decode_amortises_fixed_costs() {
+        // 16 requests in one packed step beat 16 singleton steps: the win
+        // continuous batching exists to harvest.
+        let packed = step_ms(&StepShape::decode(vec![256; 16]));
+        let singleton = step_ms(&StepShape::decode(vec![256]));
+        assert!(
+            packed < 16.0 * singleton * 0.5,
+            "packed {packed} vs 16x singleton {}",
+            16.0 * singleton
+        );
+    }
+
+    #[test]
+    fn mixed_step_costs_more_than_either_phase_alone() {
+        let prefill = StepShape::prefill(vec![128, 96]);
+        let decode = StepShape::decode(vec![300; 4]);
+        let mixed = StepShape {
+            prefill_lens: prefill.prefill_lens.clone(),
+            chunks: Vec::new(),
+            decode_ctx: decode.decode_ctx.clone(),
+        };
+        let m = step_ms(&mixed);
+        assert!(m > step_ms(&prefill));
+        assert!(m > step_ms(&decode));
+        // But less than running the phases as separate launches.
+        assert!(m < step_ms(&prefill) + step_ms(&decode));
+    }
+}

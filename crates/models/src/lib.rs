@@ -23,11 +23,13 @@
 //! tests at small scale).
 
 pub mod configs;
+pub mod decode;
 pub mod engine;
 pub mod inference;
 pub mod moe;
 pub mod training;
 
 pub use configs::{AttnKind, ModelConfig, MoeConfig};
+pub use decode::{run_step, StepShape};
 pub use engine::{Engine, Framework};
 pub use inference::{run_inference, RunResult};

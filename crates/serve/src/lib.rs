@@ -11,25 +11,37 @@
 //! design: workers race on a bounded LRU cache of Algorithm-1 selections
 //! instead of re-searching per batch.
 //!
-//! The crate is std-only (no external runtime), in four layers:
+//! The crate is std-only (no external runtime), in five layers:
 //!
 //! - [`queue`] — bounded MPMC admission queue; full queue = backpressure.
 //! - [`scheduler`] — [`BatchPolicy`]: padding-free token-budget packing
 //!   vs. padded-to-longest vs. TurboTransformers-style bucketing, plus the
 //!   [`FormedBatch`] accounting both the metrics and the executor consume.
-//! - [`runtime`] — the threaded closed-loop runtime ([`serve_trace`]) and
-//!   its deterministic synchronous twin ([`simulate_trace`]); workers
+//! - [`runtime`] — the threaded closed-loop runtime ([`serve_trace`]), its
+//!   deterministic synchronous twin ([`simulate_trace`]), and the
+//!   open-loop replays ([`serve_trace_arrivals`], [`simulate_trace_arrivals`])
+//!   that admit requests at their `ArrivalTrace` timestamps; workers
 //!   drive `pit_models::engine` per batch and share one `JitCache`.
+//! - [`decode`] — decode-phase continuous batching over `pit_kv`'s paged
+//!   KV cache: requests prefill once then rejoin the batch every
+//!   iteration, scheduled under a token budget *and* a KV-page budget,
+//!   against a static-padded rectangle baseline.
 //! - [`metrics`] — p50/p95/p99 latency, tokens/s on the modelled device,
-//!   padding-waste ratio, queue depth and cache hit rate, all frozen into
-//!   a printable [`ServingReport`].
+//!   padding-waste ratio, queue depth and cache hit rate in
+//!   [`ServingReport`]; TTFT/inter-token percentiles, KV occupancy,
+//!   fragmentation and preemptions in [`DecodeReport`].
 
+pub mod decode;
 pub mod metrics;
 pub mod queue;
 pub mod runtime;
 pub mod scheduler;
 
-pub use metrics::{CacheStats, Metrics, Percentiles, ServingReport};
+pub use decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles, ServingReport};
 pub use queue::BoundedQueue;
-pub use runtime::{batch_gpu_seconds, serve_trace, simulate_trace, ServeConfig};
+pub use runtime::{
+    batch_gpu_seconds, serve_trace, serve_trace_arrivals, simulate_trace, simulate_trace_arrivals,
+    ServeConfig,
+};
 pub use scheduler::{BatchPolicy, FormedBatch};

@@ -231,6 +231,216 @@ impl fmt::Display for ServingReport {
     }
 }
 
+/// Single-threaded collector for the decode runtime's per-iteration
+/// accounting. The decode engine is an iteration loop on one modelled
+/// device, so no interior mutability is needed.
+#[derive(Debug, Default)]
+pub struct DecodeMetrics {
+    ttft_s: Vec<f64>,
+    itl_s: Vec<f64>,
+    e2e_s: Vec<f64>,
+    iterations: usize,
+    prefill_tokens: usize,
+    decode_tokens: usize,
+    real_tokens: usize,
+    processed_tokens: usize,
+    gpu_time_s: f64,
+    occupancy_sum: f64,
+    occupancy_peak: f64,
+    fragmentation_sum: f64,
+}
+
+impl DecodeMetrics {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed iteration: its real/processed token rows
+    /// (split into prefill and decode), modelled GPU seconds, and the KV
+    /// pool's occupancy/fragmentation *during* the step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_step(
+        &mut self,
+        prefill_real: usize,
+        decode_real: usize,
+        processed: usize,
+        gpu_s: f64,
+        kv_occupancy: f64,
+        kv_fragmentation: f64,
+    ) {
+        self.iterations += 1;
+        self.prefill_tokens += prefill_real;
+        self.decode_tokens += decode_real;
+        self.real_tokens += prefill_real + decode_real;
+        self.processed_tokens += processed;
+        self.gpu_time_s += gpu_s;
+        self.occupancy_sum += kv_occupancy;
+        self.occupancy_peak = self.occupancy_peak.max(kv_occupancy);
+        self.fragmentation_sum += kv_fragmentation;
+    }
+
+    /// Records one request's time-to-first-token (seconds from arrival).
+    pub fn record_ttft(&mut self, seconds: f64) {
+        self.ttft_s.push(seconds);
+    }
+
+    /// Records one inter-token gap (seconds between consecutive tokens of
+    /// the same request).
+    pub fn record_itl(&mut self, seconds: f64) {
+        self.itl_s.push(seconds);
+    }
+
+    /// Records one request's end-to-end latency (arrival to last token).
+    pub fn record_e2e(&mut self, seconds: f64) {
+        self.e2e_s.push(seconds);
+    }
+
+    /// Freezes the collector into a report.
+    pub fn report(self, policy: &str, kv: pit_kv::KvStats, cache: CacheStats) -> DecodeReport {
+        let n = self.iterations.max(1) as f64;
+        DecodeReport {
+            policy: policy.to_string(),
+            requests: self.e2e_s.len(),
+            iterations: self.iterations,
+            prefill_tokens: self.prefill_tokens,
+            decode_tokens: self.decode_tokens,
+            real_tokens: self.real_tokens,
+            processed_tokens: self.processed_tokens,
+            gpu_time_s: self.gpu_time_s,
+            ttft: Percentiles::from_unsorted(self.ttft_s),
+            itl: Percentiles::from_unsorted(self.itl_s),
+            e2e: Percentiles::from_unsorted(self.e2e_s),
+            kv,
+            kv_mean_occupancy: self.occupancy_sum / n,
+            kv_peak_occupancy: self.occupancy_peak,
+            kv_mean_fragmentation: self.fragmentation_sum / n,
+            cache,
+        }
+    }
+}
+
+/// Everything one decode serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeReport {
+    /// Decode policy name.
+    pub policy: String,
+    /// Requests served to completion.
+    pub requests: usize,
+    /// Iterations (mixed prefill/decode steps) executed.
+    pub iterations: usize,
+    /// Real prompt tokens prefilled (re-prefills after preemption count
+    /// again — recompute is real work).
+    pub prefill_tokens: usize,
+    /// Real decode rows processed (one per live request per iteration).
+    pub decode_tokens: usize,
+    /// `prefill_tokens + decode_tokens`.
+    pub real_tokens: usize,
+    /// Token rows the modelled GPU processed (≥ real; the rectangle).
+    pub processed_tokens: usize,
+    /// Modelled GPU busy seconds across all iterations.
+    pub gpu_time_s: f64,
+    /// Time-to-first-token percentiles (arrival → end of prefill step).
+    pub ttft: Percentiles,
+    /// Inter-token latency percentiles (gap between consecutive tokens of
+    /// one request; preemption gaps included).
+    pub itl: Percentiles,
+    /// End-to-end request latency percentiles.
+    pub e2e: Percentiles,
+    /// KV pool counters at end of run (leak check: `kv.conserved()`).
+    pub kv: pit_kv::KvStats,
+    /// Mean KV-page occupancy across iterations.
+    pub kv_mean_occupancy: f64,
+    /// Peak KV-page occupancy.
+    pub kv_peak_occupancy: f64,
+    /// Mean allocated-but-unwritten slot fraction across iterations.
+    pub kv_mean_fragmentation: f64,
+    /// Shared JIT-cache counters.
+    pub cache: CacheStats,
+}
+
+impl DecodeReport {
+    /// Fraction of processed token rows that were padding.
+    pub fn padding_waste(&self) -> f64 {
+        pit_workloads::padding_waste(self.real_tokens, self.processed_tokens)
+    }
+
+    /// Served throughput: real tokens per modelled GPU second.
+    pub fn tokens_per_s(&self) -> f64 {
+        if self.gpu_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.real_tokens as f64 / self.gpu_time_s
+    }
+
+    /// Mean decode slots per iteration (effective decode batch size).
+    pub fn mean_decode_batch(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        self.decode_tokens as f64 / self.iterations as f64
+    }
+}
+
+impl fmt::Display for DecodeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} requests over {} iterations ({:.1} decode slots/iter)",
+            self.policy,
+            self.requests,
+            self.iterations,
+            self.mean_decode_batch()
+        )?;
+        writeln!(
+            f,
+            "  tokens: {} real ({} prefill + {} decode) / {} processed  (padding waste {:.1}%)",
+            self.real_tokens,
+            self.prefill_tokens,
+            self.decode_tokens,
+            self.processed_tokens,
+            self.padding_waste() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  throughput: {:.0} tokens/s over {:.3} modelled GPU-s",
+            self.tokens_per_s(),
+            self.gpu_time_s
+        )?;
+        writeln!(
+            f,
+            "  ttft: p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms",
+            self.ttft.p50 * 1e3,
+            self.ttft.p95 * 1e3,
+            self.ttft.p99 * 1e3
+        )?;
+        writeln!(
+            f,
+            "  itl:  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms   e2e p95 {:.1} ms",
+            self.itl.p50 * 1e3,
+            self.itl.p95 * 1e3,
+            self.itl.p99 * 1e3,
+            self.e2e.p95 * 1e3
+        )?;
+        writeln!(
+            f,
+            "  {} (mean occupancy {:.1}%, peak {:.1}%, mean fragmentation {:.1}%)",
+            self.kv,
+            self.kv_mean_occupancy * 100.0,
+            self.kv_peak_occupancy * 100.0,
+            self.kv_mean_fragmentation * 100.0
+        )?;
+        write!(
+            f,
+            "  jit cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.hit_rate() * 100.0
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +465,45 @@ mod tests {
         // Unsorted input is sorted internally.
         let p = Percentiles::from_unsorted(vec![5.0, 1.0, 3.0]);
         assert_eq!(p.p50, 3.0);
+    }
+
+    #[test]
+    fn decode_collector_aggregates_steps() {
+        let mut m = DecodeMetrics::new();
+        m.record_step(100, 0, 160, 0.5, 0.2, 0.1); // prefill iteration
+        m.record_step(0, 8, 16, 0.25, 0.4, 0.3); // decode iteration
+        m.record_ttft(0.010);
+        m.record_itl(0.002);
+        m.record_itl(0.004);
+        m.record_e2e(0.050);
+        let kv = pit_kv::PagedKvCache::new(pit_kv::KvConfig::new(16, 8)).stats();
+        let cache = CacheStats {
+            hits: 1,
+            misses: 1,
+            evictions: 0,
+        };
+        let r = m.report("continuous", kv, cache);
+        assert_eq!(r.requests, 1);
+        assert_eq!(r.iterations, 2);
+        assert_eq!(r.prefill_tokens, 100);
+        assert_eq!(r.decode_tokens, 8);
+        assert_eq!(r.real_tokens, 108);
+        assert_eq!(r.processed_tokens, 176);
+        assert!((r.gpu_time_s - 0.75).abs() < 1e-9);
+        assert!((r.tokens_per_s() - 144.0).abs() < 1e-6);
+        assert!((r.padding_waste() - (1.0 - 108.0 / 176.0)).abs() < 1e-9);
+        assert!((r.kv_mean_occupancy - 0.3).abs() < 1e-9);
+        assert!((r.kv_peak_occupancy - 0.4).abs() < 1e-9);
+        assert!((r.kv_mean_fragmentation - 0.2).abs() < 1e-9);
+        assert_eq!(r.itl.p50, 0.002);
+        assert_eq!(r.itl.p99, 0.004);
+        assert!(r.kv.conserved());
+        assert!((r.mean_decode_batch() - 4.0).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("ttft"));
+        assert!(text.contains("itl"));
+        assert!(text.contains("fragmentation"));
+        assert!(text.contains("padding waste"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use pit_gpusim::DeviceSpec;
 use pit_models::{Engine, ModelConfig};
 use pit_sparse::Mask;
 use pit_tensor::DType;
+use pit_workloads::ArrivalTrace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -83,6 +84,7 @@ impl ServeConfig {
 /// One admitted request travelling through the runtime.
 struct Request {
     len: usize,
+    submitted: Instant,
     done: mpsc::Sender<()>,
 }
 
@@ -95,7 +97,7 @@ struct WorkItem {
 /// Quantises a token count to micro-tile granularity for the JIT-cache
 /// key: PIT's (32,1) micro-tiles make every shape within the same 32-token
 /// class equivalent, which is what keeps the per-shape cache small and hot.
-fn shape_class(tokens: usize) -> usize {
+pub(crate) fn shape_class(tokens: usize) -> usize {
     tokens.div_ceil(32).max(1) * 32
 }
 
@@ -104,11 +106,57 @@ fn shape_class(tokens: usize) -> usize {
 /// empty for padding. Permutation invariance means row *positions* are
 /// irrelevant, so real rows lead. Scaled to at most ~1k rows to keep the
 /// online search in the paper's µs–ms band.
-fn occupancy_mask(real_tokens: usize, padded_tokens: usize) -> Mask {
+pub(crate) fn occupancy_mask(real_tokens: usize, padded_tokens: usize) -> Mask {
     let scale = padded_tokens.div_ceil(1024).max(1);
     let rows = (padded_tokens / scale).max(1);
     let real_rows = (real_tokens / scale).min(rows);
     Mask::from_fn(rows, 64, |r, _| r < real_rows)
+}
+
+/// Charges the shared per-shape Algorithm-1 selection (§5.6) for a step
+/// of `padded_rows` processed token rows, `real_rows` of them real, to
+/// `eng`: only a cache miss runs the search, and only a miss pays its
+/// (measured) wall time. On the PIT path it also charges the token-row
+/// micro-tile index build (the Figure-19 "Convert" sliver);
+/// `extra_index_items` covers additional gathers such as the decode
+/// runtime's KV page-table walk. Both the prefill executor and the decode
+/// step engine price their batches through this one helper so the
+/// miss-cost policy cannot drift between them.
+pub(crate) fn charge_shape_selection(
+    eng: &mut Engine,
+    cache: &JitCache,
+    op: &'static str,
+    model: &ModelConfig,
+    real_rows: usize,
+    padded_rows: usize,
+    extra_index_items: usize,
+) {
+    let key = KernelKey {
+        op,
+        dims: [shape_class(padded_rows), model.hidden, model.ffn],
+        dtype: eng.dtype,
+    };
+    let mut searched = false;
+    let selection = cache.get_or_select(key, || {
+        searched = true;
+        let sample = occupancy_mask(real_rows.min(padded_rows), padded_rows);
+        select_kernel(
+            eng.cost(),
+            &eng.db,
+            std::slice::from_ref(&sample),
+            model.hidden,
+            eng.dtype,
+        )
+    });
+    if searched {
+        eng.host_overhead("jit.search", selection.search_time.as_secs_f64());
+    }
+    if eng.framework.is_pit() {
+        let index_s = eng.cost().index_append(padded_rows)
+            + eng.cost().scan_pass((real_rows * 4) as f64)
+            + eng.cost().index_append(extra_index_items);
+        eng.host_overhead("pit.index", index_s);
+    }
 }
 
 /// Executes one formed batch on the analytic engine and returns its
@@ -124,37 +172,15 @@ pub fn batch_gpu_seconds(cfg: &ServeConfig, formed: &FormedBatch, cache: &JitCac
     if tokens == 0 {
         return 0.0;
     }
-
-    // Per-shape kernel selection through the shared cache (§5.6). Only a
-    // miss runs the Algorithm-1 search, and only a miss pays for it.
-    let key = KernelKey {
-        op: "serve.fwd",
-        dims: [shape_class(tokens), m.hidden, m.ffn],
-        dtype: cfg.dtype,
-    };
-    let mut searched = false;
-    let selection = cache.get_or_select(key, || {
-        searched = true;
-        let sample = occupancy_mask(formed.real_tokens, tokens);
-        select_kernel(
-            eng.cost(),
-            &eng.db,
-            std::slice::from_ref(&sample),
-            m.hidden,
-            cfg.dtype,
-        )
-    });
-    if searched {
-        eng.host_overhead("jit.search", selection.search_time.as_secs_f64());
-    }
-
-    // PIT builds its token-row micro-tile index once per batch (the
-    // Figure-19 "Convert" sliver); padded layouts need no index.
-    if cfg.policy.framework().is_pit() {
-        let index_s =
-            eng.cost().index_append(tokens) + eng.cost().scan_pass((formed.real_tokens * 4) as f64);
-        eng.host_overhead("pit.index", index_s);
-    }
+    charge_shape_selection(
+        &mut eng,
+        cache,
+        "serve.fwd",
+        m,
+        formed.real_tokens,
+        tokens,
+        0,
+    );
 
     let lens = &formed.effective_lens;
     let sum_sq: f64 = formed.sum_sq_effective() as f64;
@@ -185,6 +211,68 @@ pub fn batch_gpu_seconds(cfg: &ServeConfig, formed: &FormedBatch, cache: &JitCac
     eng.latency_ms() / 1e3
 }
 
+/// Worker-thread body shared by the closed- and open-loop runtimes: pops
+/// formed batches, prices them on the analytic engine, records metrics and
+/// completes every request in the batch.
+fn worker_loop(
+    cfg: &ServeConfig,
+    batches: &BoundedQueue<WorkItem>,
+    cache: &JitCache,
+    metrics: &Metrics,
+) {
+    while let Some(item) = batches.pop() {
+        let gpu_s = batch_gpu_seconds(cfg, &item.formed, cache);
+        metrics.record_batch(&item.formed, gpu_s);
+        for r in item.requests {
+            metrics.record_latency(r.submitted.elapsed().as_secs_f64());
+            let _ = r.done.send(());
+        }
+    }
+}
+
+/// Scheduler-thread body shared by the closed- and open-loop runtimes:
+/// drains the admission queue (waiting up to the batching window for
+/// `min_fill` requests), forms batches under the policy, and closes the
+/// batch queue once admission closes and drains.
+fn scheduler_loop(
+    cfg: &ServeConfig,
+    admission: &BoundedQueue<Request>,
+    batches: &BoundedQueue<WorkItem>,
+    min_fill: usize,
+) {
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    'serve: loop {
+        if pending.is_empty() {
+            match admission.pop() {
+                Some(r) => pending.push_back(r),
+                None => break 'serve,
+            }
+        }
+        while pending.len() < min_fill {
+            match admission.pop_timeout(cfg.batch_window) {
+                PopResult::Item(r) => pending.push_back(r),
+                PopResult::TimedOut | PopResult::ClosedEmpty => break,
+            }
+        }
+        admission.drain_into(&mut pending);
+        while !pending.is_empty() {
+            let lens: Vec<usize> = pending.iter().map(|r| r.len).collect();
+            let take = cfg.policy.take_count(&lens);
+            let requests: Vec<Request> = pending.drain(..take).collect();
+            let formed = cfg.policy.form(lens[..take].to_vec());
+            if batches.push(WorkItem { formed, requests }).is_err() {
+                break 'serve;
+            }
+            // Under load, keep packing what is already pending; otherwise
+            // go wait for new arrivals.
+            if pending.len() < min_fill {
+                break;
+            }
+        }
+    }
+    batches.close();
+}
+
 /// Serves `trace` (request lengths, FIFO) through the threaded runtime:
 /// `cfg.clients` closed-loop generators, one scheduler, `cfg.workers`
 /// workers, one shared bounded JIT cache. Latency percentiles are wall
@@ -203,50 +291,9 @@ pub fn serve_trace(cfg: &ServeConfig, trace: &[usize]) -> ServingReport {
 
     thread::scope(|s| {
         for _ in 0..cfg.workers.max(1) {
-            s.spawn(|| {
-                while let Some(item) = batches.pop() {
-                    let gpu_s = batch_gpu_seconds(cfg, &item.formed, &cache);
-                    metrics.record_batch(&item.formed, gpu_s);
-                    for r in item.requests {
-                        let _ = r.done.send(());
-                    }
-                }
-            });
+            s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics));
         }
-
-        s.spawn(|| {
-            let mut pending: VecDeque<Request> = VecDeque::new();
-            'serve: loop {
-                if pending.is_empty() {
-                    match admission.pop() {
-                        Some(r) => pending.push_back(r),
-                        None => break 'serve,
-                    }
-                }
-                while pending.len() < min_fill {
-                    match admission.pop_timeout(cfg.batch_window) {
-                        PopResult::Item(r) => pending.push_back(r),
-                        PopResult::TimedOut | PopResult::ClosedEmpty => break,
-                    }
-                }
-                admission.drain_into(&mut pending);
-                while !pending.is_empty() {
-                    let lens: Vec<usize> = pending.iter().map(|r| r.len).collect();
-                    let take = cfg.policy.take_count(&lens);
-                    let requests: Vec<Request> = pending.drain(..take).collect();
-                    let formed = cfg.policy.form(lens[..take].to_vec());
-                    if batches.push(WorkItem { formed, requests }).is_err() {
-                        break 'serve;
-                    }
-                    // Under load, keep packing what is already pending;
-                    // otherwise go wait for new arrivals.
-                    if pending.len() < min_fill {
-                        break;
-                    }
-                }
-            }
-            batches.close();
-        });
+        s.spawn(|| scheduler_loop(cfg, &admission, &batches, min_fill));
 
         let clients: Vec<_> = (0..cfg.clients.max(1))
             .map(|_| {
@@ -254,14 +301,17 @@ pub fn serve_trace(cfg: &ServeConfig, trace: &[usize]) -> ServingReport {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&len) = trace.get(i) else { break };
                     let (done, done_rx) = mpsc::channel();
-                    let submitted = Instant::now();
-                    if admission.push(Request { len, done }).is_err() {
+                    let request = Request {
+                        len,
+                        submitted: Instant::now(),
+                        done,
+                    };
+                    if admission.push(request).is_err() {
                         break;
                     }
                     if done_rx.recv().is_err() {
                         break;
                     }
-                    metrics.record_latency(submitted.elapsed().as_secs_f64());
                 })
             })
             .collect();
@@ -300,6 +350,102 @@ pub fn simulate_trace(cfg: &ServeConfig, trace: &[usize]) -> ServingReport {
         metrics.record_batch(&formed, gpu_s);
         for _ in 0..formed.batch_size() {
             metrics.record_latency(virtual_now_s);
+        }
+    }
+    metrics.report(
+        cfg.policy.name(),
+        started.elapsed().as_secs_f64(),
+        high_water,
+        CacheStats::of(&cache),
+    )
+}
+
+/// Open-loop replay of an [`ArrivalTrace`] through the threaded runtime:
+/// one submitter thread admits each request at its recorded
+/// `arrival_s` timestamp (blocking only on queue backpressure, never on
+/// completions — the open-loop discipline), while the scheduler and
+/// workers run exactly as in [`serve_trace`]. Request latency is wall
+/// clock from submission to batch completion, so queueing delay under the
+/// trace's real arrival pattern is measured rather than implied.
+///
+/// This is the first step of the ROADMAP's async front-end item: arrivals
+/// are driven by the trace clock instead of closed-loop clients.
+pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingReport {
+    let admission: BoundedQueue<Request> = BoundedQueue::new(cfg.queue_capacity.max(1));
+    let batches: BoundedQueue<WorkItem> = BoundedQueue::new(cfg.workers.max(1) * 2);
+    let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
+    let metrics = Metrics::new();
+    let min_fill = cfg.min_fill.max(1);
+    let started = Instant::now();
+
+    thread::scope(|s| {
+        for _ in 0..cfg.workers.max(1) {
+            s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics));
+        }
+        s.spawn(|| scheduler_loop(cfg, &admission, &batches, min_fill));
+
+        // Open-loop submitter: sleep to each arrival timestamp, then admit.
+        let submitter = s.spawn(|| {
+            for (&len, &arrival) in trace.lens.iter().zip(&trace.arrival_s) {
+                let target = started + Duration::from_secs_f64(arrival);
+                if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                    thread::sleep(wait);
+                }
+                let (done, _done_rx) = mpsc::channel();
+                let request = Request {
+                    len,
+                    submitted: Instant::now(),
+                    done,
+                };
+                if admission.push(request).is_err() {
+                    break;
+                }
+            }
+        });
+        submitter.join().expect("submitter panicked");
+        admission.close();
+    });
+
+    metrics.report(
+        cfg.policy.name(),
+        started.elapsed().as_secs_f64(),
+        admission.high_water(),
+        CacheStats::of(&cache),
+    )
+}
+
+/// Deterministic open-loop counterpart of [`serve_trace_arrivals`]: the
+/// trace's arrival timestamps drive a virtual clock — each batch is formed
+/// from exactly the requests that have arrived by the time the single
+/// modelled device frees up, and a request's latency is its completion
+/// time minus its arrival time (queueing + service, no host noise).
+pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingReport {
+    let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
+    let metrics = Metrics::new();
+    let started = Instant::now();
+    let mut clock_s = 0.0_f64;
+    let mut next = 0usize;
+    let mut pending: VecDeque<(usize, f64)> = VecDeque::new();
+    let mut high_water = 0usize;
+    while next < trace.len() || !pending.is_empty() {
+        if pending.is_empty() {
+            // Device idle: jump to the next arrival.
+            clock_s = clock_s.max(trace.arrival_s[next]);
+        }
+        while next < trace.len() && trace.arrival_s[next] <= clock_s {
+            pending.push_back((trace.lens[next], trace.arrival_s[next]));
+            next += 1;
+        }
+        high_water = high_water.max(pending.len());
+        let lens: Vec<usize> = pending.iter().map(|&(l, _)| l).collect();
+        let take = cfg.policy.take_count(&lens);
+        let taken: Vec<(usize, f64)> = pending.drain(..take).collect();
+        let formed = cfg.policy.form(lens[..take].to_vec());
+        let gpu_s = batch_gpu_seconds(cfg, &formed, &cache);
+        clock_s += gpu_s;
+        metrics.record_batch(&formed, gpu_s);
+        for (_, arrival) in taken {
+            metrics.record_latency(clock_s - arrival);
         }
     }
     metrics.report(
@@ -415,6 +561,48 @@ mod tests {
         let t: Vec<usize> = (1..=24).map(|i| i * 37).collect();
         let report = simulate_trace(&cfg, &t);
         assert!(report.cache.evictions > 0);
+    }
+
+    #[test]
+    fn open_loop_simulation_charges_queueing_delay() {
+        let cfg = small_cfg(BatchPolicy::PaddingFree { token_budget: 1024 });
+        let spec = DatasetSpec::mnli();
+        // Same lengths, two arrival intensities: an overloaded trace must
+        // show higher latency than a trickle, with identical token work.
+        let slow = ArrivalTrace::poisson(&spec, 64, 5.0, 17);
+        let fast = ArrivalTrace {
+            lens: slow.lens.clone(),
+            arrival_s: slow.arrival_s.iter().map(|t| t / 1000.0).collect(),
+        };
+        let r_slow = simulate_trace_arrivals(&cfg, &slow);
+        let r_fast = simulate_trace_arrivals(&cfg, &fast);
+        assert_eq!(r_slow.requests, 64);
+        assert_eq!(r_fast.requests, 64);
+        assert_eq!(r_slow.real_tokens, r_fast.real_tokens);
+        // The trickle sees near-service-time latency; the burst queues.
+        assert!(r_fast.latency.p99 >= r_slow.latency.p99);
+        // Batches under the trickle are small (often singletons); the
+        // burst packs to the budget.
+        assert!(r_fast.batches <= r_slow.batches);
+        // Replays conserve work exactly; batch boundaries may shift by the
+        // *measured* cache-miss search time folded into the virtual clock.
+        let again = simulate_trace_arrivals(&cfg, &fast);
+        assert_eq!(again.requests, r_fast.requests);
+        assert_eq!(again.real_tokens, r_fast.real_tokens);
+        assert_eq!(again.padded_tokens, again.real_tokens, "padding-free");
+    }
+
+    #[test]
+    fn open_loop_threaded_replay_completes_every_request() {
+        let cfg = small_cfg(BatchPolicy::PaddingFree { token_budget: 1024 });
+        // High rate so the replay finishes quickly in CI.
+        let trace = ArrivalTrace::poisson(&DatasetSpec::mnli(), 48, 2000.0, 29);
+        let report = serve_trace_arrivals(&cfg, &trace);
+        assert_eq!(report.requests, trace.len());
+        assert_eq!(report.real_tokens, trace.total_tokens());
+        assert_eq!(report.padding_waste(), 0.0);
+        assert!(report.latency.p50 > 0.0);
+        assert!(report.queue_high_water <= cfg.queue_capacity);
     }
 
     #[test]

@@ -60,6 +60,128 @@ impl ArrivalTrace {
     }
 }
 
+/// Seeded sampler for decode (output) lengths: a truncated geometric
+/// distribution, the standard first-order model of autoregressive output
+/// lengths (each step stops with fixed probability, giving the heavy
+/// right tail real chat/completion traces show).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeSpec {
+    /// Mean output length the geometric targets (before truncation).
+    pub mean_out: f64,
+    /// Minimum output length (every request decodes at least this many
+    /// tokens; 1 = the prefill's own first token only).
+    pub min_out: usize,
+    /// Maximum output length (generation cap).
+    pub max_out: usize,
+}
+
+impl DecodeSpec {
+    /// A geometric output-length distribution with the given mean and
+    /// truncation bounds.
+    pub fn geometric(mean_out: f64, min_out: usize, max_out: usize) -> Self {
+        assert!(min_out >= 1, "every request emits at least one token");
+        assert!(max_out >= min_out, "max_out must be >= min_out");
+        DecodeSpec {
+            mean_out: mean_out.max(min_out as f64),
+            min_out,
+            max_out,
+        }
+    }
+
+    /// Chat-style completions: mean 64 tokens, 1..=256.
+    pub fn chat() -> Self {
+        Self::geometric(64.0, 1, 256)
+    }
+
+    /// Short classification-style generations: mean 8 tokens, 1..=32.
+    pub fn short() -> Self {
+        Self::geometric(8.0, 1, 32)
+    }
+
+    /// Samples `n` output lengths, deterministically per seed.
+    pub fn sample_output_lens(&self, n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
+        // Geometric over {0, 1, ...} via inverse CDF, shifted by min_out:
+        // stop probability p chosen so the un-truncated mean is mean_out.
+        let extra_mean = (self.mean_out - self.min_out as f64).max(0.0);
+        let p = 1.0 / (extra_mean + 1.0);
+        let log1mp = (1.0 - p).ln();
+        (0..n)
+            .map(|_| {
+                let extra = if log1mp == 0.0 {
+                    // p == 1: degenerate at min_out.
+                    0
+                } else {
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    (u.ln() / log1mp).floor() as usize
+                };
+                (self.min_out + extra).min(self.max_out)
+            })
+            .collect()
+    }
+}
+
+/// A decode serving trace: per-request prompt lengths, target output
+/// lengths and arrival timestamps. The decode runtime replays it open-loop
+/// — each request is admitted at its arrival time, prefilled once, then
+/// decodes one token per iteration until its output length is reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeTrace {
+    /// Prompt length of each request, in arrival order.
+    pub prompt_lens: Vec<usize>,
+    /// Output (decode) length of each request.
+    pub output_lens: Vec<usize>,
+    /// Arrival time of each request (seconds since trace start),
+    /// non-decreasing.
+    pub arrival_s: Vec<f64>,
+}
+
+impl DecodeTrace {
+    /// Samples a trace of `n` requests: prompts from `spec`, output
+    /// lengths from `decode`, Poisson arrivals at `rate_rps`.
+    /// Deterministic per seed.
+    pub fn poisson(
+        spec: &DatasetSpec,
+        decode: &DecodeSpec,
+        n: usize,
+        rate_rps: f64,
+        seed: u64,
+    ) -> Self {
+        let arrivals = ArrivalTrace::poisson(spec, n, rate_rps, seed);
+        let output_lens = decode.sample_output_lens(n, seed);
+        DecodeTrace {
+            prompt_lens: arrivals.lens,
+            output_lens,
+            arrival_s: arrivals.arrival_s,
+        }
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.prompt_lens.len()
+    }
+
+    /// True when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.prompt_lens.is_empty()
+    }
+
+    /// Total prompt tokens across all requests.
+    pub fn total_prompt_tokens(&self) -> usize {
+        self.prompt_lens.iter().sum()
+    }
+
+    /// Total decoded tokens across all requests.
+    pub fn total_output_tokens(&self) -> usize {
+        self.output_lens.iter().sum()
+    }
+
+    /// Total real tokens the trace serves (prompt + output).
+    pub fn total_tokens(&self) -> usize {
+        self.total_prompt_tokens() + self.total_output_tokens()
+    }
+}
+
 /// Cumulative hit ratio after each batch: entry `i` is
 /// `hits_so_far / (i + 1)`.
 pub fn cumulative_hit_ratio(hashes: impl IntoIterator<Item = u64>) -> Vec<f64> {
@@ -130,6 +252,53 @@ mod tests {
         // Mean inter-arrival should be near 1/rate.
         let mean_gap = a.arrival_s.last().unwrap() / 128.0;
         assert!((mean_gap - 0.02).abs() < 0.01, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn decode_lengths_are_seeded_and_bounded() {
+        let spec = DecodeSpec::chat();
+        let a = spec.sample_output_lens(512, 3);
+        let b = spec.sample_output_lens(512, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, spec.sample_output_lens(512, 4));
+        assert!(a
+            .iter()
+            .all(|&o| (spec.min_out..=spec.max_out).contains(&o)));
+        // The truncated mean lands near the target (truncation pulls down).
+        let mean = a.iter().sum::<usize>() as f64 / a.len() as f64;
+        assert!(
+            (mean - spec.mean_out).abs() < spec.mean_out * 0.25,
+            "mean {mean} vs {}",
+            spec.mean_out
+        );
+        // Geometric tail: some short, some long outputs.
+        assert!(a.iter().any(|&o| o <= 8));
+        assert!(a.iter().any(|&o| o >= 128));
+    }
+
+    #[test]
+    fn decode_spec_degenerate_mean_pins_to_min() {
+        let spec = DecodeSpec::geometric(1.0, 4, 64);
+        // mean_out clamps to min_out, p == 1, every draw is min_out.
+        assert!(spec.sample_output_lens(64, 9).iter().all(|&o| o == 4));
+    }
+
+    #[test]
+    fn decode_trace_pairs_prompts_outputs_and_arrivals() {
+        let t = DecodeTrace::poisson(&DatasetSpec::mnli(), &DecodeSpec::chat(), 96, 100.0, 5);
+        assert_eq!(t.len(), 96);
+        assert_eq!(t.prompt_lens.len(), t.output_lens.len());
+        assert_eq!(t.prompt_lens.len(), t.arrival_s.len());
+        assert!(t.arrival_s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            t.total_tokens(),
+            t.total_prompt_tokens() + t.total_output_tokens()
+        );
+        // Prompts reuse the ArrivalTrace sampler: same seed, same lengths.
+        let a = ArrivalTrace::poisson(&DatasetSpec::mnli(), 96, 100.0, 5);
+        assert_eq!(t.prompt_lens, a.lens);
+        assert_eq!(t.arrival_s, a.arrival_s);
+        assert!(!t.is_empty());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Decode-phase serving: padding-free continuous batching over a paged KV
+//! cache vs. static padded batching, end to end on a seeded trace.
+//!
+//! The trace is open-loop (requests arrive at Poisson timestamps) with
+//! MNLI-length prompts and seeded geometric output lengths; the model is
+//! OPT-1.3B in fp16 on the modelled A100 — the memory-bound regime real
+//! LLM serving runs in. Both policies get the same concurrency (64 slots):
+//!
+//! - **continuous padding-free**: a request prefills in 64-token chunks,
+//!   then rejoins the batch every iteration, one token per step, with KV
+//!   pages allocated on demand from `pit_kv`;
+//! - **static padded**: requests batch once, prompts pad to the batch
+//!   maximum, KV is reserved contiguously for the worst case, and every
+//!   slot decodes until the longest output finishes.
+//!
+//! ```bash
+//! cargo run --release --example decode_serving
+//! ```
+
+use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
+
+fn main() {
+    let spec = DatasetSpec::mnli();
+    let out = DecodeSpec::geometric(128.0, 1, 512);
+    let trace = DecodeTrace::poisson(&spec, &out, 160, 300.0, 31);
+    println!(
+        "trace: {} requests, {} prompt + {} output tokens ({} prompts, geometric outputs mean {:.0})\n",
+        trace.len(),
+        trace.total_prompt_tokens(),
+        trace.total_output_tokens(),
+        spec.name,
+        out.mean_out,
+    );
+
+    let free = simulate_decode_trace(
+        &DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 128 }),
+        &trace,
+    );
+    println!("{free}\n");
+    let padded = simulate_decode_trace(
+        &DecodeServeConfig::new(DecodePolicy::StaticPadded { max_batch: 64 }),
+        &trace,
+    );
+    println!("{padded}\n");
+
+    println!(
+        "continuous vs static: {:.2}x tokens/s, waste {:.1}% -> {:.1}%, \
+         itl p95 {:.2} -> {:.2} ms, ttft p95 {:.0} -> {:.0} ms",
+        free.tokens_per_s() / padded.tokens_per_s(),
+        padded.padding_waste() * 100.0,
+        free.padding_waste() * 100.0,
+        padded.itl.p95 * 1e3,
+        free.itl.p95 * 1e3,
+        padded.ttft.p95 * 1e3,
+        free.ttft.p95 * 1e3,
+    );
+
+    // The CI smoke test leans on these assertions.
+    assert_eq!(free.requests, trace.len(), "every request served");
+    assert_eq!(padded.requests, trace.len());
+    assert_eq!(
+        free.real_tokens, padded.real_tokens,
+        "identical real work arrived"
+    );
+    assert_eq!(
+        free.padding_waste(),
+        0.0,
+        "continuous batching adds zero padding"
+    );
+    assert!(
+        padded.padding_waste() > 0.0,
+        "the static rectangle pays for padding"
+    );
+    assert!(
+        free.tokens_per_s() > padded.tokens_per_s(),
+        "padding-free must serve strictly more tokens per modelled GPU-second"
+    );
+    assert!(
+        free.itl.p95 < padded.itl.p95,
+        "padding-free must beat the rectangle on inter-token p95 ({:.3} vs {:.3} ms)",
+        free.itl.p95 * 1e3,
+        padded.itl.p95 * 1e3,
+    );
+    assert!(
+        free.ttft.p95 < padded.ttft.p95,
+        "and on time-to-first-token"
+    );
+    // KV pages are conserved: the allocator reports no leaks under either
+    // policy, and the decode metrics carried live occupancy all along.
+    for report in [&free, &padded] {
+        assert!(
+            report.kv.conserved(),
+            "[{}] KV pages leaked: {}",
+            report.policy,
+            report.kv
+        );
+        assert!(report.kv_peak_occupancy <= 1.0);
+        assert!(report.itl.p50 > 0.0 && report.itl.p50 <= report.itl.p95);
+        assert!(report.itl.p95 <= report.itl.p99);
+    }
+    // Paging vs worst-case reservation: the static policy burns most of
+    // its allocated slots on reservation slack.
+    assert!(free.kv_mean_fragmentation < padded.kv_mean_fragmentation);
+    println!("\npadding-free continuous batching wins on every axis ✓");
+}

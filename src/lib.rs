@@ -15,8 +15,11 @@
 //!   SRead/SWrite, the online sparsity detector and kernel selection.
 //! - [`models`] — transformer/MoE model simulations used in the evaluation.
 //! - [`workloads`] — synthetic dataset/workload generators.
+//! - [`kv`] — paged KV-cache manager: fixed-size token pages,
+//!   alloc/extend/free, occupancy/fragmentation stats, admission signal.
 //! - [`serve`] — concurrent serving runtime: bounded admission,
-//!   padding-free continuous batching, worker pool, serving metrics.
+//!   padding-free continuous batching (prefill and decode phase), worker
+//!   pool, serving metrics.
 //!
 //! See `README.md` for a quickstart, the workspace layout and the crate
 //! dependency graph.
@@ -24,6 +27,7 @@
 pub use pit_core as core;
 pub use pit_gpusim as gpusim;
 pub use pit_kernels as kernels;
+pub use pit_kv as kv;
 pub use pit_models as models;
 pub use pit_serve as serve;
 pub use pit_sparse as sparse;

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) for the paged KV-cache allocator and
+//! its use by the decode runtime: page conservation (allocated = freed +
+//! live), no double-frees, occupancy bounds, and end-of-run leak freedom
+//! under completion and preemption.
+
+use pit::kv::{KvConfig, KvError, PagedKvCache};
+use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
+use proptest::prelude::*;
+
+/// Deterministic operation stream driver: interprets a seed as a sequence
+/// of alloc/extend/free/preempt operations over a bounded id space and
+/// checks the pool invariants after every step.
+fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) -> PagedKvCache {
+    let mut kv = PagedKvCache::new(KvConfig::new(page_size, pages));
+    let mut h = seed | 1;
+    let mut next = || {
+        // xorshift64* — deterministic op stream per seed.
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        h.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for _ in 0..ops {
+        let r = next();
+        let id = (r >> 8) % ids;
+        let tokens = (r >> 32) as usize % (3 * page_size) + 1;
+        let live_before = kv.live_pages();
+        let free_before = kv.free_pages();
+        match r % 4 {
+            0 => {
+                let was_live = kv.seq_tokens(id).is_some();
+                match kv.alloc(id, tokens) {
+                    Ok(n) => {
+                        assert!(!was_live, "alloc succeeded on a live sequence");
+                        assert_eq!(n, kv.config().pages_for(tokens));
+                        assert_eq!(kv.live_pages(), live_before + n);
+                    }
+                    Err(KvError::AlreadyAllocated(e)) => assert_eq!(e, id),
+                    Err(KvError::OutOfPages { needed, free }) => {
+                        assert_eq!(free, free_before);
+                        assert!(needed > free, "atomic failure must be real");
+                        assert_eq!(kv.live_pages(), live_before, "failed alloc mutated pool");
+                    }
+                    Err(e) => panic!("unexpected alloc error {e:?}"),
+                }
+            }
+            1 => {
+                let held = kv.seq_tokens(id);
+                match kv.extend(id, tokens) {
+                    Ok(n) => {
+                        let before = held.expect("extend succeeded on unknown seq");
+                        assert_eq!(kv.seq_tokens(id), Some(before + tokens));
+                        assert_eq!(kv.live_pages(), live_before + n);
+                    }
+                    Err(KvError::UnknownSeq(_)) => assert!(held.is_none()),
+                    Err(KvError::OutOfPages { .. }) => {
+                        assert_eq!(kv.seq_tokens(id), held, "failed extend mutated seq");
+                        assert_eq!(kv.live_pages(), live_before);
+                    }
+                    Err(e) => panic!("unexpected extend error {e:?}"),
+                }
+            }
+            2 => {
+                let was_live = kv.seq_tokens(id).is_some();
+                match kv.free(id) {
+                    Ok(n) => {
+                        assert!(was_live);
+                        assert!(n >= 1, "live sequences hold at least one page");
+                        assert_eq!(kv.free_pages(), free_before + n);
+                        // Freed exactly once: a second free must fail.
+                        assert_eq!(kv.free(id), Err(KvError::UnknownSeq(id)));
+                    }
+                    Err(KvError::UnknownSeq(_)) => assert!(!was_live),
+                    Err(e) => panic!("unexpected free error {e:?}"),
+                }
+            }
+            _ => {
+                let preemptions_before = kv.stats().preemptions;
+                match kv.preempt(id) {
+                    Ok(_) => assert_eq!(kv.stats().preemptions, preemptions_before + 1),
+                    Err(KvError::UnknownSeq(_)) => {
+                        assert_eq!(kv.stats().preemptions, preemptions_before)
+                    }
+                    Err(e) => panic!("unexpected preempt error {e:?}"),
+                }
+            }
+        }
+        kv.check_invariants().expect("pool invariant violated");
+        let s = kv.stats();
+        assert!(s.occupancy <= 1.0, "occupancy over capacity");
+        assert_eq!(s.live_pages + s.free_pages, s.capacity_pages, "page leak");
+        assert_eq!(s.allocated_total, s.freed_total + s.live_pages as u64);
+    }
+    kv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random alloc/extend/free/preempt streams never violate the pool's
+    /// conservation invariants, and draining every survivor afterwards
+    /// returns the pool to a fully-free, leak-free state.
+    #[test]
+    fn random_op_streams_conserve_pages(
+        page_size in 1usize..32,
+        pages in 1usize..256,
+        ids in 1u64..24,
+        ops in 1usize..400,
+        seed in 0u64..10_000,
+    ) {
+        let mut kv = drive_ops(page_size, pages, ids, ops, seed);
+        for id in 0..ids {
+            let _ = kv.free(id);
+        }
+        let s = kv.stats();
+        prop_assert!(s.conserved(), "leak after draining: {s:?}");
+        prop_assert_eq!(s.free_pages, s.capacity_pages);
+        prop_assert_eq!(s.used_tokens, 0);
+        kv.check_invariants().expect("pool invariant violated");
+    }
+
+    /// Reservations (static padded batching's worst case) obey the same
+    /// conservation: used tokens never exceed reserved slots, occupancy
+    /// stays bounded, and frees return everything.
+    #[test]
+    fn reservations_conserve_and_bound_fragmentation(
+        page_size in 1usize..32,
+        n_seqs in 1usize..16,
+        used in 1usize..64,
+        slack in 0usize..128,
+        seed in 0u64..10_000,
+    ) {
+        let reserved = used + slack;
+        let pages_per = reserved.div_ceil(page_size);
+        let mut kv = PagedKvCache::new(KvConfig::new(page_size, pages_per * n_seqs));
+        for id in 0..n_seqs as u64 {
+            let take = kv.alloc_reserved(id ^ seed, used, reserved).expect("pool sized to fit");
+            prop_assert_eq!(take, pages_per);
+        }
+        prop_assert!((kv.occupancy() - 1.0).abs() < 1e-9, "pool exactly full");
+        prop_assert!(kv.fragmentation() >= 0.0 && kv.fragmentation() < 1.0);
+        // Extending inside the reservation takes no pages.
+        if slack > 0 {
+            prop_assert_eq!(kv.extend(seed, slack).expect("within reservation"), 0);
+        }
+        for id in 0..n_seqs as u64 {
+            kv.free(id ^ seed).expect("freed exactly once");
+        }
+        prop_assert!(kv.stats().conserved());
+        kv.check_invariants().expect("pool invariant violated");
+    }
+
+    /// End-to-end: decode serving over a random trace frees every page it
+    /// allocates, under both policies, even when a tiny pool forces
+    /// admission throttling and preemption.
+    #[test]
+    fn decode_runs_leak_no_pages(
+        n in 1usize..24,
+        rate_centirps in 1000u64..40_000,
+        mean_out in 2u64..48,
+        tiny_pool in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let trace = DecodeTrace::poisson(
+            &DatasetSpec::mnli(),
+            &DecodeSpec::geometric(mean_out as f64, 1, 96),
+            n,
+            rate_centirps as f64 / 100.0,
+            seed,
+        );
+        for policy in [
+            DecodePolicy::ContinuousPaddingFree { token_budget: 128 },
+            DecodePolicy::StaticPadded { max_batch: 8 },
+        ] {
+            let mut cfg = DecodeServeConfig::new(policy);
+            cfg.model.layers = 1; // cost model depth is irrelevant here
+            if tiny_pool == 1 {
+                // Just enough for one worst-case context plus headroom:
+                // forces the out-of-pages admission signal and preemption
+                // without ever making a single request unservable.
+                cfg.kv_pages = Some(2 * (128usize + 96).div_ceil(cfg.page_size) + 2);
+            }
+            let report = simulate_decode_trace(&cfg, &trace);
+            prop_assert_eq!(report.requests, trace.len());
+            prop_assert!(report.kv.conserved(),
+                "{} leaked pages: {:?}", report.policy, report.kv);
+            prop_assert!(report.kv_peak_occupancy <= 1.0 + 1e-9);
+            prop_assert!(report.real_tokens >= trace.total_tokens() - trace.len(),
+                "served fewer rows than the no-preemption floor");
+        }
+    }
+}
