@@ -20,6 +20,14 @@
 //!   conservation counters (`allocated_total == freed_total + live`) that
 //!   the workspace proptest suite pins down.
 //!
+//! Pages are *refcounted* so prompt-prefix caching can share them across
+//! requests: `alloc_shared` admits a sequence onto pages another request
+//! already wrote, `retain_pages`/`release_pages` let `pit_prefix`'s radix
+//! index pin published prompt pages past sequence lifetime, and a
+//! sequence growing into a partially written shared page gets a private
+//! copy first (copy-on-write). A page returns to the free list only when
+//! its last reference drops.
+//!
 //! The crate is dependency-free; `pit_serve` wires it into the decode
 //! scheduler's admission and preemption decisions.
 
@@ -27,4 +35,4 @@ pub mod config;
 pub mod pager;
 
 pub use config::KvConfig;
-pub use pager::{KvError, KvStats, PagedKvCache, SeqId};
+pub use pager::{KvError, KvStats, PageId, PagedKvCache, SeqId};

@@ -1,5 +1,15 @@
-//! The block allocator: per-sequence page lists over one free list, with
-//! reservation-aware accounting and conservation counters.
+//! The block allocator: refcounted pages shared across per-sequence page
+//! lists over one free list, with reservation-aware accounting and
+//! conservation counters.
+//!
+//! Pages are *refcounted*: a page normally has one owner, but prefix
+//! caching admits new sequences onto pages another sequence already wrote
+//! ([`PagedKvCache::alloc_shared`]) and lets an external index pin pages
+//! past sequence lifetime ([`PagedKvCache::retain_pages`] /
+//! [`PagedKvCache::release_pages`]). A page returns to the free list only
+//! when its last reference drops; a sequence that grows into a partially
+//! written *shared* page first gets a private copy (copy-on-write), so
+//! sharers never observe each other's writes.
 
 use crate::config::KvConfig;
 use std::collections::HashMap;
@@ -7,6 +17,9 @@ use std::fmt;
 
 /// Identifier the caller assigns to one sequence (request).
 pub type SeqId = u64;
+
+/// Physical page identifier inside one pool.
+pub type PageId = u32;
 
 /// Why a KV-cache operation failed. Allocation failures leave the pool
 /// unchanged — an admission signal, not a partial state.
@@ -24,6 +37,10 @@ pub enum KvError {
     /// `extend`/`free` for a sequence that holds no pages (catches
     /// double-frees: the second `free` of a sequence returns this).
     UnknownSeq(SeqId),
+    /// `alloc_shared`/`retain_pages`/`release_pages` referenced a page
+    /// that is not live (or, for release, not externally retained), or the
+    /// shared page list does not cover the claimed prefix tokens.
+    InvalidShare,
 }
 
 impl fmt::Display for KvError {
@@ -34,6 +51,7 @@ impl fmt::Display for KvError {
             }
             KvError::AlreadyAllocated(s) => write!(f, "sequence {s} already allocated"),
             KvError::UnknownSeq(s) => write!(f, "sequence {s} holds no pages"),
+            KvError::InvalidShare => write!(f, "shared pages are not live or do not cover prefix"),
         }
     }
 }
@@ -41,29 +59,44 @@ impl fmt::Display for KvError {
 /// Pages one live sequence holds.
 #[derive(Debug, Clone)]
 struct SeqPages {
-    /// Physical page ids, in allocation order (the page table).
-    pages: Vec<u32>,
-    /// Token slots actually written (cached context length).
+    /// Physical page ids, in token order (the page table). Prefix pages
+    /// may be shared with other sequences or with an external index.
+    pages: Vec<PageId>,
+    /// Token slots this sequence considers written (cached context
+    /// length), including any shared prefix.
     used_tokens: usize,
     /// Token slots reserved (`>= used_tokens`; pages cover this).
     reserved_tokens: usize,
 }
 
-/// A paged KV cache: fixed-size token pages handed out from a free list.
+/// A paged KV cache: fixed-size token pages handed out from a free list,
+/// with per-page reference counts.
 ///
 /// Continuous batching allocates pages on demand (`alloc` the prompt, then
 /// `extend` by one token per decode step); static padded baselines reserve
-/// their worst case up front (`alloc_reserved`). The accounting separates
-/// *used* token slots from *reserved* ones so [`PagedKvCache::fragmentation`]
-/// exposes exactly the waste the paging design removes.
+/// their worst case up front (`alloc_reserved`); prefix caching admits
+/// sequences onto already-written pages (`alloc_shared`) and pins prompt
+/// pages past sequence lifetime (`retain_pages`). The accounting separates
+/// *used* token slots (written once, however many sequences share the
+/// page) from *reserved* ones so [`PagedKvCache::fragmentation`] exposes
+/// exactly the waste the paging design removes.
 #[derive(Debug)]
 pub struct PagedKvCache {
     cfg: KvConfig,
     /// Free physical pages (LIFO — recently freed pages are reused first,
     /// the cache-friendly order).
-    free: Vec<u32>,
+    free: Vec<PageId>,
     /// Live sequences and their page tables.
     seqs: HashMap<SeqId, SeqPages>,
+    /// Total references per page: occurrences in sequence page tables plus
+    /// external retains. 0 = on the free list.
+    refs: Vec<u32>,
+    /// External retains per page (a prefix index pinning prompt pages);
+    /// always `<= refs`.
+    ext_refs: Vec<u32>,
+    /// Written token slots per page — physical, counted once no matter how
+    /// many sequences share the page.
+    written: Vec<u32>,
     live_pages: usize,
     used_tokens: usize,
     reserved_tokens: usize,
@@ -73,6 +106,8 @@ pub struct PagedKvCache {
     peak_live_pages: usize,
     alloc_failures: u64,
     preemptions: u64,
+    cow_copies: u64,
+    shared_admits: u64,
 }
 
 impl PagedKvCache {
@@ -80,8 +115,11 @@ impl PagedKvCache {
     pub fn new(cfg: KvConfig) -> Self {
         PagedKvCache {
             cfg,
-            free: (0..cfg.num_pages as u32).rev().collect(),
+            free: (0..cfg.num_pages as PageId).rev().collect(),
             seqs: HashMap::new(),
+            refs: vec![0; cfg.num_pages],
+            ext_refs: vec![0; cfg.num_pages],
+            written: vec![0; cfg.num_pages],
             live_pages: 0,
             used_tokens: 0,
             reserved_tokens: 0,
@@ -90,6 +128,8 @@ impl PagedKvCache {
             peak_live_pages: 0,
             alloc_failures: 0,
             preemptions: 0,
+            cow_copies: 0,
+            shared_admits: 0,
         }
     }
 
@@ -102,6 +142,55 @@ impl PagedKvCache {
     /// scheduler's admission signal.
     pub fn can_admit(&self, tokens: usize) -> bool {
         self.cfg.pages_for(tokens) <= self.free.len()
+    }
+
+    /// Pops one free page and gives it its first reference.
+    fn take_page(&mut self) -> PageId {
+        let p = self.free.pop().expect("caller checked the free count");
+        self.refs[p as usize] = 1;
+        self.live_pages += 1;
+        self.allocated_total += 1;
+        p
+    }
+
+    /// Drops one reference to `p`; at zero the page returns to the free
+    /// list. Returns whether the page was physically freed.
+    fn drop_ref(&mut self, p: PageId) -> bool {
+        let i = p as usize;
+        self.refs[i] -= 1;
+        if self.refs[i] == 0 {
+            self.used_tokens -= self.written[i] as usize;
+            self.written[i] = 0;
+            self.free.push(p);
+            self.live_pages -= 1;
+            self.freed_total += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Raises `p`'s written extent to `extent` slots (monotone — a sharer
+    /// can never shrink another sharer's written slots).
+    fn note_written(&mut self, p: PageId, extent: usize) {
+        let w = &mut self.written[p as usize];
+        if extent as u32 > *w {
+            self.used_tokens += extent - *w as usize;
+            *w = extent as u32;
+        }
+    }
+
+    /// Marks token range `[from, to)` of a page table as written.
+    fn mark_range(&mut self, pages: &[PageId], from: usize, to: usize) {
+        let ps = self.cfg.page_size;
+        if to <= from {
+            return;
+        }
+        let (first, last) = (from / ps, (to - 1) / ps);
+        for (i, &p) in pages[first..=last].iter().enumerate() {
+            let extent = (to - (first + i) * ps).min(ps);
+            self.note_written(p, extent);
+        }
     }
 
     /// Allocates pages for a new sequence holding `tokens` written slots.
@@ -131,13 +220,9 @@ impl PagedKvCache {
                 free: self.free.len(),
             });
         }
-        let pages: Vec<u32> = (0..needed)
-            .map(|_| self.free.pop().expect("checked"))
-            .collect();
-        self.live_pages += needed;
-        self.used_tokens += used_tokens;
+        let pages: Vec<PageId> = (0..needed).map(|_| self.take_page()).collect();
+        self.mark_range(&pages, 0, used_tokens);
         self.reserved_tokens += reserved_tokens;
-        self.allocated_total += needed as u64;
         self.peak_live_pages = self.peak_live_pages.max(self.live_pages);
         self.seqs.insert(
             seq,
@@ -150,49 +235,173 @@ impl PagedKvCache {
         Ok(needed)
     }
 
+    /// Admits a new sequence directly onto `shared` — pages another
+    /// sequence (or the prefix index) already holds, whose first
+    /// `prefix_tokens` slots are written. Each page's refcount is bumped;
+    /// no fresh pages are taken, so shared admission never runs out of
+    /// pages. Returns the number of pages shared.
+    ///
+    /// `shared` must cover exactly `prefix_tokens` slots
+    /// (`pages_for(prefix_tokens) == shared.len()`), every page must be
+    /// live, and every page's *written* extent must actually cover its
+    /// share of the prefix — a sequence can only adopt KV that was
+    /// computed; otherwise [`KvError::InvalidShare`]. The sequence grows
+    /// past the prefix with [`PagedKvCache::extend`] as usual — growth
+    /// into a partially written shared page copies it first
+    /// (copy-on-write).
+    pub fn alloc_shared(
+        &mut self,
+        seq: SeqId,
+        shared: &[PageId],
+        prefix_tokens: usize,
+    ) -> Result<usize, KvError> {
+        if self.seqs.contains_key(&seq) {
+            return Err(KvError::AlreadyAllocated(seq));
+        }
+        let ps = self.cfg.page_size;
+        if prefix_tokens == 0
+            || self.cfg.pages_for(prefix_tokens) != shared.len()
+            || shared.iter().enumerate().any(|(i, &p)| {
+                (p as usize) >= self.cfg.num_pages
+                    || self.refs[p as usize] == 0
+                    || (self.written[p as usize] as usize) < (prefix_tokens - i * ps).min(ps)
+            })
+        {
+            return Err(KvError::InvalidShare);
+        }
+        for &p in shared {
+            self.refs[p as usize] += 1;
+        }
+        let pages = shared.to_vec();
+        self.reserved_tokens += prefix_tokens;
+        self.shared_admits += 1;
+        self.seqs.insert(
+            seq,
+            SeqPages {
+                pages,
+                used_tokens: prefix_tokens,
+                reserved_tokens: prefix_tokens,
+            },
+        );
+        Ok(shared.len())
+    }
+
+    /// Pins `pages` with one external reference each (the prefix index
+    /// adopting published prompt pages). Every page must be live.
+    pub fn retain_pages(&mut self, pages: &[PageId]) -> Result<(), KvError> {
+        if pages
+            .iter()
+            .any(|&p| (p as usize) >= self.cfg.num_pages || self.refs[p as usize] == 0)
+        {
+            return Err(KvError::InvalidShare);
+        }
+        for &p in pages {
+            self.refs[p as usize] += 1;
+            self.ext_refs[p as usize] += 1;
+        }
+        Ok(())
+    }
+
+    /// Drops one external reference per page (the prefix index evicting);
+    /// pages whose last reference drops return to the free list. Returns
+    /// the number of pages physically freed. Fails atomically with
+    /// [`KvError::InvalidShare`] if any page lacks an external reference.
+    pub fn release_pages(&mut self, pages: &[PageId]) -> Result<usize, KvError> {
+        let mut need: HashMap<PageId, u32> = HashMap::new();
+        for &p in pages {
+            if (p as usize) >= self.cfg.num_pages {
+                return Err(KvError::InvalidShare);
+            }
+            *need.entry(p).or_insert(0) += 1;
+        }
+        if need.iter().any(|(&p, &c)| self.ext_refs[p as usize] < c) {
+            return Err(KvError::InvalidShare);
+        }
+        let mut freed = 0;
+        for &p in pages {
+            self.ext_refs[p as usize] -= 1;
+            if self.drop_ref(p) {
+                freed += 1;
+            }
+        }
+        Ok(freed)
+    }
+
     /// Grows a sequence by `new_tokens` written slots, allocating pages
     /// only when growth crosses the reservation's page boundary. Returns
     /// the pages newly taken (usually 0 — decode allocates one page every
-    /// `page_size` steps). Fails atomically on page exhaustion.
+    /// `page_size` steps; a copy-on-write of a shared boundary page counts
+    /// as one taken page). Fails atomically on page exhaustion.
     pub fn extend(&mut self, seq: SeqId, new_tokens: usize) -> Result<usize, KvError> {
         let free_len = self.free.len();
-        let s = self.seqs.get_mut(&seq).ok_or(KvError::UnknownSeq(seq))?;
-        let target_used = s.used_tokens + new_tokens;
-        let target_reserved = s.reserved_tokens.max(target_used);
-        let needed_pages = self.cfg.pages_for(target_reserved);
-        let extra = needed_pages.saturating_sub(s.pages.len());
-        if extra > free_len {
+        let ps = self.cfg.page_size;
+        let (used, reserved, held, shared_boundary) = {
+            let s = self.seqs.get(&seq).ok_or(KvError::UnknownSeq(seq))?;
+            let boundary = if s.used_tokens % ps != 0 {
+                let bi = s.used_tokens / ps;
+                let bp = s.pages[bi];
+                (self.refs[bp as usize] > 1).then_some((bi, bp))
+            } else {
+                None
+            };
+            (s.used_tokens, s.reserved_tokens, s.pages.len(), boundary)
+        };
+        if new_tokens == 0 {
+            return Ok(0);
+        }
+        let target_used = used + new_tokens;
+        let target_reserved = reserved.max(target_used);
+        let extra = self.cfg.pages_for(target_reserved).saturating_sub(held);
+        let cow = usize::from(shared_boundary.is_some());
+        if extra + cow > free_len {
             self.alloc_failures += 1;
             return Err(KvError::OutOfPages {
-                needed: extra,
+                needed: extra + cow,
                 free: free_len,
             });
         }
-        for _ in 0..extra {
-            s.pages.push(self.free.pop().expect("checked"));
+        // Copy-on-write: the sequence is about to write into a partially
+        // filled page other holders also reference, so it gets a private
+        // copy of its prefix slots first. The shared page is untouched.
+        if let Some((bi, old)) = shared_boundary {
+            let fresh = self.take_page();
+            self.note_written(fresh, used % ps);
+            self.refs[old as usize] -= 1; // other sharers keep it live
+            self.cow_copies += 1;
+            self.seqs.get_mut(&seq).expect("checked above").pages[bi] = fresh;
         }
-        self.used_tokens += target_used - s.used_tokens;
-        self.reserved_tokens += target_reserved - s.reserved_tokens;
-        s.used_tokens = target_used;
-        s.reserved_tokens = target_reserved;
-        self.live_pages += extra;
-        self.allocated_total += extra as u64;
+        let fresh: Vec<PageId> = (0..extra).map(|_| self.take_page()).collect();
+        let first = used / ps;
+        let affected: Vec<PageId> = {
+            let s = self.seqs.get_mut(&seq).expect("checked above");
+            s.pages.extend(fresh);
+            s.used_tokens = target_used;
+            s.reserved_tokens = target_reserved;
+            s.pages[first..=(target_used - 1) / ps].to_vec()
+        };
+        for (j, &p) in affected.iter().enumerate() {
+            let extent = (target_used - (first + j) * ps).min(ps);
+            self.note_written(p, extent);
+        }
+        self.reserved_tokens += target_reserved - reserved;
         self.peak_live_pages = self.peak_live_pages.max(self.live_pages);
-        Ok(extra)
+        Ok(extra + cow)
     }
 
-    /// Returns every page of `seq` to the free list (request completed).
-    /// Returns the pages freed; a second `free` of the same sequence is a
-    /// double-free and fails with [`KvError::UnknownSeq`].
+    /// Drops this sequence's reference to every page it holds (request
+    /// completed); pages return to the free list only at refcount zero.
+    /// Returns the pages physically freed; a second `free` of the same
+    /// sequence is a double-free and fails with [`KvError::UnknownSeq`].
     pub fn free(&mut self, seq: SeqId) -> Result<usize, KvError> {
         let s = self.seqs.remove(&seq).ok_or(KvError::UnknownSeq(seq))?;
-        let n = s.pages.len();
-        self.free.extend(s.pages);
-        self.live_pages -= n;
-        self.used_tokens -= s.used_tokens;
+        let mut freed = 0;
+        for &p in &s.pages {
+            if self.drop_ref(p) {
+                freed += 1;
+            }
+        }
         self.reserved_tokens -= s.reserved_tokens;
-        self.freed_total += n as u64;
-        Ok(n)
+        Ok(freed)
     }
 
     /// Frees a sequence because the scheduler evicted it to make room
@@ -209,12 +418,28 @@ impl PagedKvCache {
         self.seqs.get(&seq).map(|s| s.used_tokens)
     }
 
+    /// The page table of a live sequence, in token order.
+    pub fn seq_pages(&self, seq: SeqId) -> Option<&[PageId]> {
+        self.seqs.get(&seq).map(|s| s.pages.as_slice())
+    }
+
+    /// Total references to `page` (sequence holders + external retains);
+    /// 0 means the page is free.
+    pub fn page_refs(&self, page: PageId) -> u32 {
+        self.refs[page as usize]
+    }
+
+    /// Written token slots of `page`.
+    pub fn page_written(&self, page: PageId) -> usize {
+        self.written[page as usize] as usize
+    }
+
     /// Number of live sequences.
     pub fn num_seqs(&self) -> usize {
         self.seqs.len()
     }
 
-    /// Pages currently allocated to sequences.
+    /// Pages currently allocated (refcount > 0).
     pub fn live_pages(&self) -> usize {
         self.live_pages
     }
@@ -224,9 +449,15 @@ impl PagedKvCache {
         self.free.len()
     }
 
-    /// Token slots written across all live sequences.
+    /// Token slots physically written across live pages (shared slots
+    /// count once).
     pub fn used_tokens(&self) -> usize {
         self.used_tokens
+    }
+
+    /// Pages currently referenced by more than one holder.
+    pub fn shared_pages(&self) -> usize {
+        self.refs.iter().filter(|&&r| r > 1).count()
     }
 
     /// Fraction of the pool's pages currently allocated (0..=1).
@@ -264,6 +495,9 @@ impl PagedKvCache {
             freed_total: self.freed_total,
             alloc_failures: self.alloc_failures,
             preemptions: self.preemptions,
+            shared_pages: self.shared_pages(),
+            cow_copies: self.cow_copies,
+            shared_admits: self.shared_admits,
         }
     }
 
@@ -285,27 +519,76 @@ impl PagedKvCache {
                 self.allocated_total, self.freed_total, self.live_pages
             ));
         }
-        let seq_pages: usize = self.seqs.values().map(|s| s.pages.len()).sum();
-        if seq_pages != self.live_pages {
+        // Reference counts must equal page-table occurrences plus external
+        // retains, page for page.
+        let mut counted = vec![0u32; self.cfg.num_pages];
+        for (id, s) in &self.seqs {
+            if s.pages.len() != self.cfg.pages_for(s.reserved_tokens) {
+                return Err(format!(
+                    "seq {id} holds {} pages for {} reserved tokens",
+                    s.pages.len(),
+                    s.reserved_tokens
+                ));
+            }
+            if s.used_tokens > s.reserved_tokens {
+                return Err(format!("seq {id} used > reserved"));
+            }
+            for &p in &s.pages {
+                let i = p as usize;
+                if i >= self.cfg.num_pages {
+                    return Err(format!("page id {i} out of range"));
+                }
+                counted[i] += 1;
+            }
+        }
+        for (i, &e) in self.ext_refs.iter().enumerate() {
+            counted[i] += e;
+        }
+        for (i, (&expect, &actual)) in counted.iter().zip(&self.refs).enumerate() {
+            if expect != actual {
+                return Err(format!(
+                    "page {i} refcount {actual} != {expect} (page-table occurrences + external)"
+                ));
+            }
+        }
+        // The free list is exactly the zero-ref pages, each once, with no
+        // written slots still counted.
+        let mut on_free = vec![false; self.cfg.num_pages];
+        for &p in &self.free {
+            let i = p as usize;
+            if i >= self.cfg.num_pages {
+                return Err(format!("free page id {i} out of range"));
+            }
+            if on_free[i] {
+                return Err(format!("page {i} on the free list twice"));
+            }
+            on_free[i] = true;
+            if self.refs[i] != 0 {
+                return Err(format!("page {i} free but holds {} refs", self.refs[i]));
+            }
+            if self.written[i] != 0 {
+                return Err(format!("free page {i} still marked written"));
+            }
+        }
+        for (i, &r) in self.refs.iter().enumerate() {
+            if r == 0 && !on_free[i] {
+                return Err(format!("zero-ref page {i} not on the free list"));
+            }
+        }
+        // Written-slot conservation: the global counter is the page sum.
+        let written_sum: usize = self.written.iter().map(|&w| w as usize).sum();
+        if written_sum != self.used_tokens {
             return Err(format!(
-                "page-table mismatch: seqs hold {seq_pages}, live says {}",
-                self.live_pages
+                "written slots: pages sum to {written_sum}, counter says {}",
+                self.used_tokens
             ));
         }
-        let mut seen = vec![false; self.cfg.num_pages];
-        for &p in self
-            .free
+        if self
+            .written
             .iter()
-            .chain(self.seqs.values().flat_map(|s| &s.pages))
+            .any(|&w| w as usize > self.cfg.page_size)
         {
-            let p = p as usize;
-            if p >= self.cfg.num_pages {
-                return Err(format!("page id {p} out of range"));
-            }
-            if seen[p] {
-                return Err(format!("page {p} owned twice"));
-            }
-            seen[p] = true;
+            return Err("page written extent exceeds page size".to_string());
         }
         if self.occupancy() > 1.0 {
             return Err(format!("occupancy {} > 1", self.occupancy()));
@@ -321,11 +604,11 @@ pub struct KvStats {
     pub page_size: usize,
     /// Total pages in the pool.
     pub capacity_pages: usize,
-    /// Pages allocated to live sequences.
+    /// Pages with at least one reference.
     pub live_pages: usize,
     /// Pages on the free list.
     pub free_pages: usize,
-    /// Written token slots across live sequences.
+    /// Physically written token slots (shared slots count once).
     pub used_tokens: usize,
     /// `live_pages / capacity_pages`.
     pub occupancy: f64,
@@ -333,14 +616,21 @@ pub struct KvStats {
     pub fragmentation: f64,
     /// High-water mark of live pages.
     pub peak_live_pages: usize,
-    /// Pages ever handed out.
+    /// Pages ever handed out (refcount bumps on shared pages don't count —
+    /// only trips through the free list do).
     pub allocated_total: u64,
-    /// Pages ever returned.
+    /// Pages ever returned (last reference dropped).
     pub freed_total: u64,
     /// Rejected allocations/extensions (out-of-pages admission signals).
     pub alloc_failures: u64,
     /// Sequences evicted to reclaim pages.
     pub preemptions: u64,
+    /// Pages currently referenced by more than one holder.
+    pub shared_pages: usize,
+    /// Copy-on-write page copies performed.
+    pub cow_copies: u64,
+    /// Sequences admitted onto shared prefix pages.
+    pub shared_admits: u64,
 }
 
 impl KvStats {
@@ -355,17 +645,19 @@ impl fmt::Display for KvStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "kv: {}/{} pages live (peak {}), occupancy {:.1}%, fragmentation {:.1}%, \
-             {} alloc / {} freed, {} failures, {} preemptions",
+            "kv: {}/{} pages live (peak {}, {} shared), occupancy {:.1}%, fragmentation {:.1}%, \
+             {} alloc / {} freed, {} failures, {} preemptions, {} cow copies",
             self.live_pages,
             self.capacity_pages,
             self.peak_live_pages,
+            self.shared_pages,
             self.occupancy * 100.0,
             self.fragmentation * 100.0,
             self.allocated_total,
             self.freed_total,
             self.alloc_failures,
             self.preemptions,
+            self.cow_copies,
         )
     }
 }
@@ -485,5 +777,136 @@ mod tests {
         assert!(text.contains("occupancy"));
         assert!(text.contains("fragmentation"));
         assert!(text.contains("preemptions"));
+        assert!(text.contains("shared"));
+        assert!(text.contains("cow"));
+    }
+
+    #[test]
+    fn shared_admission_bumps_refs_without_taking_pages() {
+        let mut kv = pool(16, 8);
+        kv.alloc(1, 48).unwrap(); // 3 full pages
+        let prefix: Vec<PageId> = kv.seq_pages(1).unwrap()[..2].to_vec();
+        let free_before = kv.free_pages();
+        assert_eq!(kv.alloc_shared(2, &prefix, 32).unwrap(), 2);
+        assert_eq!(kv.free_pages(), free_before, "sharing takes no pages");
+        assert_eq!(kv.seq_tokens(2), Some(32));
+        for &p in &prefix {
+            assert_eq!(kv.page_refs(p), 2);
+        }
+        assert_eq!(kv.shared_pages(), 2);
+        assert_eq!(kv.stats().shared_admits, 1);
+        // Slots written once: 48 physical, not 48 + 32.
+        assert_eq!(kv.used_tokens(), 48);
+        kv.check_invariants().unwrap();
+        // The sharer extends onto fresh pages past its full-page prefix.
+        assert_eq!(kv.extend(2, 16).unwrap(), 1);
+        assert_ne!(kv.seq_pages(2).unwrap()[2], kv.seq_pages(1).unwrap()[2]);
+        kv.free(1).unwrap();
+        // Shared pages survive the original owner's free.
+        for &p in &prefix {
+            assert_eq!(kv.page_refs(p), 1);
+        }
+        kv.free(2).unwrap();
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalid_shares_are_rejected() {
+        let mut kv = pool(16, 4);
+        kv.alloc(1, 16).unwrap();
+        let page = kv.seq_pages(1).unwrap()[0];
+        // Page list does not cover the claimed prefix.
+        assert_eq!(kv.alloc_shared(2, &[page], 32), Err(KvError::InvalidShare));
+        assert_eq!(kv.alloc_shared(2, &[page], 0), Err(KvError::InvalidShare));
+        // Free and out-of-range pages cannot be shared or retained.
+        let free_page = (0..4).find(|&p| kv.page_refs(p) == 0).unwrap();
+        assert_eq!(
+            kv.alloc_shared(2, &[free_page], 16),
+            Err(KvError::InvalidShare)
+        );
+        assert_eq!(kv.retain_pages(&[99]), Err(KvError::InvalidShare));
+        assert_eq!(kv.release_pages(&[page]), Err(KvError::InvalidShare));
+        assert_eq!(
+            kv.alloc_shared(1, &[page], 16),
+            Err(KvError::AlreadyAllocated(1))
+        );
+        kv.check_invariants().unwrap();
+        // A claimed prefix beyond the donor's written extent is rejected:
+        // only KV that was actually computed can be adopted.
+        let mut kv = pool(16, 4);
+        kv.alloc(1, 10).unwrap(); // 10 of the page's 16 slots written
+        let p = kv.seq_pages(1).unwrap()[0];
+        assert_eq!(kv.alloc_shared(2, &[p], 16), Err(KvError::InvalidShare));
+        assert_eq!(kv.used_tokens(), 10, "failed share fabricated no slots");
+        assert_eq!(kv.alloc_shared(2, &[p], 10).map(|_| ()), Ok(()));
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn retain_release_pins_pages_past_sequence_lifetime() {
+        let mut kv = pool(16, 8);
+        kv.alloc(1, 32).unwrap();
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        kv.retain_pages(&pages).unwrap();
+        // Freeing the sequence physically frees nothing: the retain holds.
+        assert_eq!(kv.free(1).unwrap(), 0);
+        assert_eq!(kv.live_pages(), 2);
+        assert_eq!(kv.used_tokens(), 32, "retained pages keep their slots");
+        kv.check_invariants().unwrap();
+        // A later sequence can be admitted onto the retained pages.
+        kv.alloc_shared(2, &pages, 32).unwrap();
+        assert_eq!(kv.release_pages(&pages).unwrap(), 0, "seq 2 still holds");
+        assert_eq!(kv.free(2).unwrap(), 2);
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn copy_on_write_never_mutates_the_shared_page() {
+        let mut kv = pool(16, 8);
+        kv.alloc(1, 20).unwrap(); // page 0 full, page 1 holds 4 slots
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        kv.alloc_shared(2, &pages, 20).unwrap();
+        let boundary = pages[1];
+        let written_before = kv.page_written(boundary);
+        // Seq 2 writes into the partially filled shared page: it must get
+        // a private copy, taking exactly one fresh page.
+        assert_eq!(kv.extend(2, 4).unwrap(), 1);
+        assert_eq!(kv.stats().cow_copies, 1);
+        let copied = kv.seq_pages(2).unwrap()[1];
+        assert_ne!(copied, boundary);
+        assert_eq!(kv.page_refs(boundary), 1, "only seq 1 holds it now");
+        assert_eq!(
+            kv.page_written(boundary),
+            written_before,
+            "the shared page was never mutated"
+        );
+        assert_eq!(kv.page_written(copied), 8, "copy carries prefix + growth");
+        assert_eq!(kv.seq_tokens(1), Some(20));
+        assert_eq!(kv.seq_tokens(2), Some(24));
+        kv.check_invariants().unwrap();
+        // Seq 1 can keep growing its own page — it is exclusive again.
+        assert_eq!(kv.extend(1, 4).unwrap(), 0);
+        kv.free(1).unwrap();
+        kv.free(2).unwrap();
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cow_failure_is_atomic_when_no_page_is_free() {
+        let mut kv = pool(16, 2);
+        kv.alloc(1, 20).unwrap(); // both pages
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        kv.alloc_shared(2, &pages, 20).unwrap();
+        // Seq 2's growth needs a CoW page, but the pool is exhausted.
+        assert_eq!(
+            kv.extend(2, 1),
+            Err(KvError::OutOfPages { needed: 1, free: 0 })
+        );
+        assert_eq!(kv.seq_tokens(2), Some(20));
+        assert_eq!(kv.stats().cow_copies, 0);
+        kv.check_invariants().unwrap();
     }
 }

@@ -1,0 +1,24 @@
+//! `pit-prefix` — a radix-tree prompt-prefix cache over refcounted KV
+//! pages.
+//!
+//! At the serving layer the dominant runtime redundancy is
+//! *cross-request*: shared system prompts and few-shot templates mean the
+//! same prompt prefix is re-prefilled for every request that carries it.
+//! That redundancy is dynamic — which prefixes repeat, and how often, is
+//! only known online — which makes it exactly the kind of structure PIT
+//! turns into dense computation: detect the shared shape at runtime, then
+//! skip the recompute entirely by pointing new requests at the KV pages
+//! the first request already wrote.
+//!
+//! [`RadixPrefixIndex`] is that detector: a radix tree keyed by token IDs
+//! at *page* granularity (every edge covers whole KV pages, so a match is
+//! directly a list of reusable page IDs), with LRU leaf eviction under
+//! pool pressure and hit/miss/saved-token accounting. The index stores
+//! page IDs only — `pit_kv`'s refcounted [`pit_kv::PagedKvCache`] owns
+//! the pages; the serving runtime retains a reference per adopted page
+//! ([`RadixPrefixIndex::insert`]) and releases what
+//! [`RadixPrefixIndex::evict_lru`] returns.
+
+pub mod radix;
+
+pub use radix::{PrefixMatch, PrefixStats, RadixPrefixIndex, Token};

@@ -1,0 +1,630 @@
+//! The radix tree: token-ID prefixes mapped to chains of KV page IDs at
+//! page granularity.
+//!
+//! Every edge covers *whole* pages (`key.len() == pages.len() ×
+//! page_size`), so a lookup result is directly a list of reusable page
+//! IDs — the page table a newly admitted request shares via
+//! `PagedKvCache::alloc_shared`. Matching, insertion and eviction all
+//! operate on whole pages: a prefix that shares only part of a page
+//! cannot share its KV (the page is the transfer unit), which is the same
+//! granularity argument PIT makes for micro-tiles.
+//!
+//! Eviction is LRU over *leaves*: only the deepest, least-recently-used
+//! edges are removed, so every interior prefix stays reachable and the
+//! tree never holds a page whose prefix chain was dropped. Because each
+//! lookup/insert touches exactly one root-to-node path with one clock
+//! value, distinct leaves always carry distinct timestamps and eviction
+//! order is deterministic.
+
+use pit_kv::PageId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Token identifier (vocabulary index) as prompts carry them.
+pub type Token = u32;
+
+/// Result of one prefix lookup: the shared page chain and the tokens it
+/// covers (`pages.len() × page_size`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixMatch {
+    /// KV pages covering the matched prefix, in token order.
+    pub pages: Vec<PageId>,
+    /// Prompt tokens the matched pages cover.
+    pub tokens: usize,
+}
+
+/// One edge of the radix tree.
+#[derive(Debug)]
+struct Node {
+    /// Token IDs along this edge (`pages.len() × page_size` of them).
+    key: Vec<Token>,
+    /// KV pages storing those tokens' keys/values.
+    pages: Vec<PageId>,
+    /// Child edges, keyed by their first page's tokens (siblings always
+    /// differ within their first page, so the first page is the branch
+    /// discriminator).
+    children: HashMap<Vec<Token>, Node>,
+    /// Logical LRU clock of the last lookup/insert touching this edge.
+    last_used: u64,
+}
+
+/// A radix/trie prefix index mapping token-ID prefixes to sequences of
+/// shared KV pages.
+///
+/// The index stores page IDs, not pages: `pit_kv::PagedKvCache` owns the
+/// memory, and the caller keeps one external reference per page the index
+/// holds (`retain_pages` what [`RadixPrefixIndex::insert`] adopts,
+/// `release_pages` what [`RadixPrefixIndex::evict_lru`] and
+/// [`RadixPrefixIndex::drain_all`] return).
+#[derive(Debug)]
+pub struct RadixPrefixIndex {
+    page_size: usize,
+    children: HashMap<Vec<Token>, Node>,
+    clock: u64,
+    pages_held: usize,
+    nodes: usize,
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    matched_tokens: u64,
+    inserted_pages: u64,
+    evicted_pages: u64,
+}
+
+impl RadixPrefixIndex {
+    /// An empty index over pages of `page_size` tokens.
+    pub fn new(page_size: usize) -> Self {
+        RadixPrefixIndex {
+            page_size: page_size.max(1),
+            children: HashMap::new(),
+            clock: 0,
+            pages_held: 0,
+            nodes: 0,
+            lookups: 0,
+            hits: 0,
+            misses: 0,
+            matched_tokens: 0,
+            inserted_pages: 0,
+            evicted_pages: 0,
+        }
+    }
+
+    /// Token slots per page (must match the KV pool's geometry).
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages the index currently holds (each pinned by one external
+    /// reference in the KV pool).
+    pub fn pages_held(&self) -> usize {
+        self.pages_held
+    }
+
+    /// True when the index holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Longest cached prefix of `tokens`, in whole pages. Touches the
+    /// matched path (LRU), counts a hit when at least one page matched.
+    pub fn match_prefix(&mut self, tokens: &[Token]) -> PrefixMatch {
+        self.clock += 1;
+        self.lookups += 1;
+        let mut pages = Vec::new();
+        match_rec(
+            &mut self.children,
+            tokens,
+            self.page_size,
+            self.clock,
+            &mut pages,
+        );
+        let matched = pages.len() * self.page_size;
+        if pages.is_empty() {
+            self.misses += 1;
+        } else {
+            self.hits += 1;
+            self.matched_tokens += matched as u64;
+        }
+        PrefixMatch {
+            pages,
+            tokens: matched,
+        }
+    }
+
+    /// Publishes `tokens`' whole-page prefix backed by `pages` (the
+    /// request's prompt page table, one page per `page_size` tokens).
+    /// Already-cached pages are deduplicated — the index keeps its
+    /// existing page for a prefix it has seen; only pages extending the
+    /// tree are adopted. Returns the adopted pages: the caller must pin
+    /// each with `PagedKvCache::retain_pages` so they outlive the
+    /// publishing sequence.
+    pub fn insert(&mut self, tokens: &[Token], pages: &[PageId]) -> Vec<PageId> {
+        let full = (tokens.len() / self.page_size).min(pages.len());
+        let mut adopted = Vec::new();
+        if full == 0 {
+            return adopted;
+        }
+        self.clock += 1;
+        insert_rec(
+            &mut self.children,
+            &tokens[..full * self.page_size],
+            &pages[..full],
+            self.page_size,
+            self.clock,
+            &mut adopted,
+            &mut self.nodes,
+        );
+        self.pages_held += adopted.len();
+        self.inserted_pages += adopted.len() as u64;
+        adopted
+    }
+
+    /// Evicts least-recently-used leaf edges until at least `min_pages`
+    /// pages were released (or the index is empty). Returns the released
+    /// page IDs: the caller must `PagedKvCache::release_pages` them —
+    /// pages still referenced by live sequences stay allocated and only
+    /// drop the index's pin.
+    pub fn evict_lru(&mut self, min_pages: usize) -> Vec<PageId> {
+        let mut out = Vec::new();
+        while out.len() < min_pages && !self.children.is_empty() {
+            remove_lru_leaf(&mut self.children, &mut out);
+            self.nodes -= 1;
+        }
+        self.pages_held -= out.len();
+        self.evicted_pages += out.len() as u64;
+        out
+    }
+
+    /// Removes every prefix and returns all held pages (end of run — the
+    /// caller releases the index's pins so the pool can drain leak-free).
+    /// Drained pages count as evicted in the conservation counters;
+    /// snapshot [`RadixPrefixIndex::stats`] first if the distinction
+    /// matters.
+    pub fn drain_all(&mut self) -> Vec<PageId> {
+        let mut out = Vec::new();
+        drain_rec(&mut self.children, &mut out);
+        self.children.clear();
+        self.pages_held = 0;
+        self.nodes = 0;
+        self.evicted_pages += out.len() as u64;
+        out
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PrefixStats {
+        PrefixStats {
+            lookups: self.lookups,
+            hits: self.hits,
+            misses: self.misses,
+            matched_tokens: self.matched_tokens,
+            inserted_pages: self.inserted_pages,
+            evicted_pages: self.evicted_pages,
+            pages_held: self.pages_held,
+            nodes: self.nodes,
+        }
+    }
+
+    /// Checks the tree's structural invariants; returns a description of
+    /// the first violation. The proptest suite calls this after every
+    /// operation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = HashMap::new();
+        let (pages, nodes) = check_rec(&self.children, self.page_size, &mut seen)?;
+        if pages != self.pages_held {
+            return Err(format!(
+                "page accounting: tree holds {pages}, counter says {}",
+                self.pages_held
+            ));
+        }
+        if nodes != self.nodes {
+            return Err(format!(
+                "node accounting: tree has {nodes}, counter says {}",
+                self.nodes
+            ));
+        }
+        if self.inserted_pages != self.evicted_pages + self.pages_held as u64 {
+            return Err(format!(
+                "page conservation: inserted {} != evicted {} + held {}",
+                self.inserted_pages, self.evicted_pages, self.pages_held
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn match_rec(
+    map: &mut HashMap<Vec<Token>, Node>,
+    tokens: &[Token],
+    ps: usize,
+    clock: u64,
+    out: &mut Vec<PageId>,
+) {
+    if tokens.len() < ps {
+        return;
+    }
+    let Some(node) = map.get_mut(&tokens[..ps]) else {
+        return;
+    };
+    let mut k = 1;
+    while k < node.pages.len()
+        && (k + 1) * ps <= tokens.len()
+        && node.key[k * ps..(k + 1) * ps] == tokens[k * ps..(k + 1) * ps]
+    {
+        k += 1;
+    }
+    node.last_used = clock;
+    out.extend_from_slice(&node.pages[..k]);
+    if k == node.pages.len() {
+        match_rec(&mut node.children, &tokens[k * ps..], ps, clock, out);
+    }
+}
+
+fn insert_rec(
+    map: &mut HashMap<Vec<Token>, Node>,
+    tokens: &[Token],
+    pages: &[PageId],
+    ps: usize,
+    clock: u64,
+    adopted: &mut Vec<PageId>,
+    nodes: &mut usize,
+) {
+    if pages.is_empty() {
+        return;
+    }
+    let Some(node) = map.get_mut(&tokens[..ps]) else {
+        adopted.extend_from_slice(pages);
+        *nodes += 1;
+        map.insert(
+            tokens[..ps].to_vec(),
+            Node {
+                key: tokens.to_vec(),
+                pages: pages.to_vec(),
+                children: HashMap::new(),
+                last_used: clock,
+            },
+        );
+        return;
+    };
+    // The split-off tail below must keep the edge's *previous* timestamp:
+    // stamping it with this insert's clock would tie it with the new
+    // sibling and make LRU eviction order fall back to HashMap iteration
+    // order (nondeterministic).
+    let prev_used = node.last_used;
+    node.last_used = clock;
+    let mut k = 1;
+    while k < node.pages.len()
+        && k < pages.len()
+        && node.key[k * ps..(k + 1) * ps] == tokens[k * ps..(k + 1) * ps]
+    {
+        k += 1;
+    }
+    if k == node.pages.len() {
+        insert_rec(
+            &mut node.children,
+            &tokens[k * ps..],
+            &pages[k..],
+            ps,
+            clock,
+            adopted,
+            nodes,
+        );
+        return;
+    }
+    if k == pages.len() {
+        // The inserted prefix ends inside this edge: fully covered by the
+        // index's existing pages, nothing to adopt.
+        return;
+    }
+    // Divergence mid-edge: split at k pages, then insert the tail below.
+    let rest = Node {
+        key: node.key.split_off(k * ps),
+        pages: node.pages.split_off(k),
+        children: std::mem::take(&mut node.children),
+        last_used: prev_used,
+    };
+    *nodes += 1;
+    node.children.insert(rest.key[..ps].to_vec(), rest);
+    insert_rec(
+        &mut node.children,
+        &tokens[k * ps..],
+        &pages[k..],
+        ps,
+        clock,
+        adopted,
+        nodes,
+    );
+}
+
+/// Minimum leaf `last_used` in this subtree, with the key of the child
+/// subtree containing it. Leaves always carry distinct timestamps (one
+/// touched path per clock tick), so the minimum is unique and the choice
+/// deterministic.
+fn lru_leaf(map: &HashMap<Vec<Token>, Node>) -> Option<(u64, Vec<Token>)> {
+    let mut best: Option<(u64, &Vec<Token>)> = None;
+    for (key, node) in map {
+        let t = if node.children.is_empty() {
+            node.last_used
+        } else {
+            lru_leaf(&node.children)
+                .expect("non-leaf nodes have children")
+                .0
+        };
+        if best.is_none_or(|(bt, _)| t < bt) {
+            best = Some((t, key));
+        }
+    }
+    best.map(|(t, k)| (t, k.clone()))
+}
+
+/// Removes the least-recently-used leaf edge, appending its pages to
+/// `out`. A parent whose last child disappears keeps its own pages and
+/// becomes a leaf candidate for the next round.
+fn remove_lru_leaf(map: &mut HashMap<Vec<Token>, Node>, out: &mut Vec<PageId>) {
+    let (_, key) = lru_leaf(map).expect("caller checked non-empty");
+    let node = map.get_mut(&key).expect("key just found");
+    if node.children.is_empty() {
+        let node = map.remove(&key).expect("present");
+        out.extend(node.pages);
+    } else {
+        remove_lru_leaf(&mut node.children, out);
+    }
+}
+
+fn drain_rec(map: &mut HashMap<Vec<Token>, Node>, out: &mut Vec<PageId>) {
+    for (_, mut node) in map.drain() {
+        out.extend(node.pages);
+        drain_rec(&mut node.children, out);
+    }
+}
+
+fn check_rec(
+    map: &HashMap<Vec<Token>, Node>,
+    ps: usize,
+    seen: &mut HashMap<PageId, ()>,
+) -> Result<(usize, usize), String> {
+    let mut pages = 0;
+    let mut nodes = 0;
+    for (key, node) in map {
+        if node.pages.is_empty() {
+            return Err("edge with no pages".to_string());
+        }
+        if node.key.len() != node.pages.len() * ps {
+            return Err(format!(
+                "edge key covers {} tokens for {} pages",
+                node.key.len(),
+                node.pages.len()
+            ));
+        }
+        if key.as_slice() != &node.key[..ps] {
+            return Err("child keyed by a different first page".to_string());
+        }
+        for &p in &node.pages {
+            if seen.insert(p, ()).is_some() {
+                return Err(format!("page {p} held twice"));
+            }
+        }
+        pages += node.pages.len();
+        nodes += 1;
+        let (cp, cn) = check_rec(&node.children, ps, seen)?;
+        pages += cp;
+        nodes += cn;
+    }
+    Ok((pages, nodes))
+}
+
+/// Point-in-time snapshot of the index's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Prefix lookups performed.
+    pub lookups: u64,
+    /// Lookups that matched at least one page.
+    pub hits: u64,
+    /// Lookups that matched nothing.
+    pub misses: u64,
+    /// Prompt tokens covered by matches (cache-served prefill work).
+    pub matched_tokens: u64,
+    /// Pages ever adopted into the tree.
+    pub inserted_pages: u64,
+    /// Pages released by LRU eviction.
+    pub evicted_pages: u64,
+    /// Pages currently held.
+    pub pages_held: usize,
+    /// Edges currently in the tree.
+    pub nodes: usize,
+}
+
+impl PrefixStats {
+    /// Hit fraction of all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PrefixStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prefix index: {} hits / {} misses ({:.0}% hit rate), {} tokens matched, \
+             {} pages held in {} edges, {} inserted / {} evicted",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.matched_tokens,
+            self.pages_held,
+            self.nodes,
+            self.inserted_pages,
+            self.evicted_pages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// page_size 4; tokens spelled out per page for readability.
+    fn index() -> RadixPrefixIndex {
+        RadixPrefixIndex::new(4)
+    }
+
+    fn toks(pages: &[[Token; 4]]) -> Vec<Token> {
+        pages.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn empty_index_misses() {
+        let mut ix = index();
+        let m = ix.match_prefix(&[1, 2, 3, 4, 5]);
+        assert!(m.pages.is_empty());
+        assert_eq!(m.tokens, 0);
+        assert_eq!(ix.stats().misses, 1);
+        assert!(ix.is_empty());
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_then_match_whole_pages_only() {
+        let mut ix = index();
+        let t = toks(&[[1, 2, 3, 4], [5, 6, 7, 8], [9, 9, 9, 9]]);
+        let adopted = ix.insert(&t, &[10, 11, 12]);
+        assert_eq!(adopted, vec![10, 11, 12]);
+        assert_eq!(ix.pages_held(), 3);
+        // Full match.
+        let m = ix.match_prefix(&t);
+        assert_eq!(m.pages, vec![10, 11, 12]);
+        assert_eq!(m.tokens, 12);
+        // A query sharing only the first two pages matches two.
+        let q = toks(&[[1, 2, 3, 4], [5, 6, 7, 8], [1, 1, 1, 1]]);
+        assert_eq!(ix.match_prefix(&q).pages, vec![10, 11]);
+        // Sub-page agreement does not match: page granularity.
+        let q = toks(&[[1, 2, 3, 9], [5, 6, 7, 8]]);
+        assert_eq!(ix.match_prefix(&q).tokens, 0);
+        // A query shorter than one page cannot match.
+        assert_eq!(ix.match_prefix(&[1, 2, 3]).tokens, 0);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partial_page_tail_is_ignored_on_insert() {
+        let mut ix = index();
+        let mut t = toks(&[[1, 2, 3, 4]]);
+        t.extend([5, 6]); // 6 tokens: one full page + 2 spare
+        let adopted = ix.insert(&t, &[7, 8]);
+        assert_eq!(adopted, vec![7], "only the full page is published");
+        assert_eq!(ix.pages_held(), 1);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_dedups_and_extends() {
+        let mut ix = index();
+        let t2 = toks(&[[1, 1, 1, 1], [2, 2, 2, 2]]);
+        assert_eq!(ix.insert(&t2, &[20, 21]), vec![20, 21]);
+        // Re-publishing the same prefix with different pages adopts none:
+        // first writer wins, the duplicate pages stay with their caller.
+        assert!(ix.insert(&t2, &[30, 31]).is_empty());
+        assert_eq!(ix.match_prefix(&t2).pages, vec![20, 21]);
+        // Publishing a longer prompt adopts only the extension.
+        let t3 = toks(&[[1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3]]);
+        assert_eq!(ix.insert(&t3, &[20, 21, 32]), vec![32]);
+        assert_eq!(ix.match_prefix(&t3).pages, vec![20, 21, 32]);
+        // A shorter prefix of an existing edge adopts nothing.
+        let t1 = toks(&[[1, 1, 1, 1]]);
+        assert!(ix.insert(&t1, &[40]).is_empty());
+        assert_eq!(ix.match_prefix(&t1).pages, vec![20]);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn divergence_splits_the_edge() {
+        let mut ix = index();
+        let a = toks(&[[1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3]]);
+        ix.insert(&a, &[10, 11, 12]);
+        let b = toks(&[[1, 1, 1, 1], [2, 2, 2, 2], [4, 4, 4, 4]]);
+        assert_eq!(ix.insert(&b, &[10, 11, 13]), vec![13]);
+        // Both full prompts still match their own chains.
+        assert_eq!(ix.match_prefix(&a).pages, vec![10, 11, 12]);
+        assert_eq!(ix.match_prefix(&b).pages, vec![10, 11, 13]);
+        assert_eq!(ix.pages_held(), 4);
+        assert_eq!(ix.stats().nodes, 3, "split prefix + two tails");
+        // Siblings can also diverge within their first page.
+        let c = toks(&[[1, 1, 1, 1], [2, 2, 9, 9]]);
+        assert_eq!(ix.insert(&c, &[10, 14]), vec![14]);
+        assert_eq!(ix.match_prefix(&c).pages, vec![10, 14]);
+        assert_eq!(ix.match_prefix(&a).pages, vec![10, 11, 12]);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lru_leaf_eviction_removes_cold_tails_first() {
+        let mut ix = index();
+        let a = toks(&[[1, 1, 1, 1], [2, 2, 2, 2]]);
+        let b = toks(&[[1, 1, 1, 1], [3, 3, 3, 3]]);
+        ix.insert(&a, &[10, 11]);
+        ix.insert(&b, &[10, 12]);
+        // Touch `a`: `b`'s tail becomes the LRU leaf.
+        ix.match_prefix(&a);
+        let evicted = ix.evict_lru(1);
+        assert_eq!(evicted, vec![12]);
+        assert_eq!(ix.match_prefix(&b).pages, vec![10], "tail gone, root holds");
+        assert_eq!(ix.match_prefix(&a).pages, vec![10, 11], "hot path survives");
+        ix.check_invariants().unwrap();
+        // Draining returns everything left exactly once.
+        let mut drained = ix.drain_all();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![10, 11]);
+        assert!(ix.is_empty());
+        assert_eq!(ix.pages_held(), 0);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn split_tail_stays_older_than_the_new_sibling() {
+        let mut ix = index();
+        let a = toks(&[[1, 1, 1, 1], [2, 2, 2, 2]]);
+        ix.insert(&a, &[10, 11]);
+        let b = toks(&[[1, 1, 1, 1], [3, 3, 3, 3]]);
+        ix.insert(&b, &[10, 12]); // splits a's edge
+                                  // The split-off tail of `a` keeps its pre-split timestamp, so it
+                                  // — not `b`'s fresher tail — is the deterministic LRU victim.
+        assert_eq!(ix.evict_lru(1), vec![11]);
+        assert_eq!(ix.match_prefix(&b).pages, vec![10, 12]);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_reaches_interior_pages_once_leaves_are_gone() {
+        let mut ix = index();
+        let a = toks(&[[1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3]]);
+        ix.insert(&a, &[10, 11, 12]);
+        let evicted = ix.evict_lru(usize::MAX);
+        assert_eq!(evicted, vec![10, 11, 12], "whole chain released");
+        assert!(ix.is_empty());
+        assert_eq!(ix.stats().evicted_pages, 3);
+        assert_eq!(ix.stats().inserted_pages, 3);
+        ix.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_saved_tokens() {
+        let mut ix = index();
+        let t = toks(&[[1, 2, 3, 4], [5, 6, 7, 8]]);
+        ix.insert(&t, &[1, 2]);
+        ix.match_prefix(&t); // hit, 8 tokens
+        ix.match_prefix(&[9, 9, 9, 9]); // miss
+        let s = ix.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.matched_tokens, 8);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("evicted"));
+    }
+}

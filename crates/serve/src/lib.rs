@@ -25,11 +25,18 @@
 //! - [`decode`] — decode-phase continuous batching over `pit_kv`'s paged
 //!   KV cache: requests prefill once then rejoin the batch every
 //!   iteration, scheduled under a token budget *and* a KV-page budget,
-//!   against a static-padded rectangle baseline.
+//!   against a static-padded rectangle baseline. With
+//!   `DecodeServeConfig::prefix_caching` on, admission consults
+//!   `pit_prefix`'s radix index, shares matched prompt pages
+//!   (refcounted), prefills only the suffix, and publishes completed
+//!   prompts back to the index; index LRU leaves are evicted when decode
+//!   allocation contends for free pages.
 //! - [`metrics`] — p50/p95/p99 latency, tokens/s on the modelled device,
-//!   padding-waste ratio, queue depth and cache hit rate in
-//!   [`ServingReport`]; TTFT/inter-token percentiles, KV occupancy,
-//!   fragmentation and preemptions in [`DecodeReport`].
+//!   padding-waste ratio, queue depth, rejected-request count and cache
+//!   hit rate in [`ServingReport`]; TTFT/inter-token percentiles (TTFT
+//!   split by prefix-cache hit/miss), prefix hit rate and cache-served
+//!   prompt tokens, KV occupancy, fragmentation and preemptions in
+//!   [`DecodeReport`].
 
 pub mod decode;
 pub mod metrics;
@@ -42,6 +49,6 @@ pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles,
 pub use queue::BoundedQueue;
 pub use runtime::{
     batch_gpu_seconds, serve_trace, serve_trace_arrivals, simulate_trace, simulate_trace_arrivals,
-    ServeConfig,
+    AdmissionMode, ServeConfig,
 };
 pub use scheduler::{BatchPolicy, FormedBatch};

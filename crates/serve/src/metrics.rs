@@ -88,6 +88,7 @@ pub struct Metrics {
     padded_tokens: AtomicUsize,
     batches: AtomicUsize,
     gpu_nanos: AtomicU64,
+    rejected: AtomicUsize,
 }
 
 impl Metrics {
@@ -115,6 +116,12 @@ impl Metrics {
             .push(latency_s);
     }
 
+    /// Records one request turned away at admission (reject-when-full
+    /// backpressure instead of blocking).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freezes the collector into a report.
     pub fn report(
         &self,
@@ -134,6 +141,7 @@ impl Metrics {
             wall_time_s,
             latency: Percentiles::from_unsorted(latencies),
             queue_high_water,
+            rejected: self.rejected.load(Ordering::Relaxed),
             cache,
         }
     }
@@ -161,6 +169,9 @@ pub struct ServingReport {
     pub latency: Percentiles,
     /// Deepest the admission queue got.
     pub queue_high_water: usize,
+    /// Requests turned away at admission (always 0 under blocking
+    /// backpressure; counts drops under reject-when-full admission).
+    pub rejected: usize,
     /// Shared JIT-cache counters for the run.
     pub cache: CacheStats,
 }
@@ -221,8 +232,9 @@ impl fmt::Display for ServingReport {
         )?;
         write!(
             f,
-            "  queue high-water {}; jit cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+            "  queue high-water {} ({} rejected); jit cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)",
             self.queue_high_water,
+            self.rejected,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -237,6 +249,8 @@ impl fmt::Display for ServingReport {
 #[derive(Debug, Default)]
 pub struct DecodeMetrics {
     ttft_s: Vec<f64>,
+    ttft_hit_s: Vec<f64>,
+    ttft_miss_s: Vec<f64>,
     itl_s: Vec<f64>,
     e2e_s: Vec<f64>,
     iterations: usize,
@@ -248,6 +262,10 @@ pub struct DecodeMetrics {
     occupancy_sum: f64,
     occupancy_peak: f64,
     fragmentation_sum: f64,
+    prefix_hits: usize,
+    prefix_misses: usize,
+    prefix_cached_tokens: usize,
+    prefix: Option<pit_prefix::PrefixStats>,
 }
 
 impl DecodeMetrics {
@@ -280,9 +298,33 @@ impl DecodeMetrics {
         self.fragmentation_sum += kv_fragmentation;
     }
 
-    /// Records one request's time-to-first-token (seconds from arrival).
-    pub fn record_ttft(&mut self, seconds: f64) {
+    /// Records one request's time-to-first-token (seconds from arrival),
+    /// split by whether its admission hit the prompt-prefix cache (always
+    /// a miss when prefix caching is off).
+    pub fn record_ttft(&mut self, seconds: f64, prefix_hit: bool) {
         self.ttft_s.push(seconds);
+        if prefix_hit {
+            self.ttft_hit_s.push(seconds);
+        } else {
+            self.ttft_miss_s.push(seconds);
+        }
+    }
+
+    /// Records one admission's prefix-cache outcome: whether it matched,
+    /// and how many prompt tokens the match served from cached KV pages
+    /// (prefill work skipped).
+    pub fn record_prefix_admission(&mut self, cached_tokens: usize, hit: bool) {
+        if hit {
+            self.prefix_hits += 1;
+        } else {
+            self.prefix_misses += 1;
+        }
+        self.prefix_cached_tokens += cached_tokens;
+    }
+
+    /// Attaches the prefix index's end-of-run counter snapshot.
+    pub fn set_prefix(&mut self, stats: pit_prefix::PrefixStats) {
+        self.prefix = Some(stats);
     }
 
     /// Records one inter-token gap (seconds between consecutive tokens of
@@ -309,8 +351,14 @@ impl DecodeMetrics {
             processed_tokens: self.processed_tokens,
             gpu_time_s: self.gpu_time_s,
             ttft: Percentiles::from_unsorted(self.ttft_s),
+            ttft_hit: Percentiles::from_unsorted(self.ttft_hit_s),
+            ttft_miss: Percentiles::from_unsorted(self.ttft_miss_s),
             itl: Percentiles::from_unsorted(self.itl_s),
             e2e: Percentiles::from_unsorted(self.e2e_s),
+            prefix_hits: self.prefix_hits,
+            prefix_misses: self.prefix_misses,
+            prefix_cached_tokens: self.prefix_cached_tokens,
+            prefix: self.prefix,
             kv,
             kv_mean_occupancy: self.occupancy_sum / n,
             kv_peak_occupancy: self.occupancy_peak,
@@ -342,11 +390,29 @@ pub struct DecodeReport {
     pub gpu_time_s: f64,
     /// Time-to-first-token percentiles (arrival → end of prefill step).
     pub ttft: Percentiles,
+    /// TTFT percentiles of requests whose admission hit the prefix cache
+    /// (zeros when none did).
+    pub ttft_hit: Percentiles,
+    /// TTFT percentiles of prefix-cache misses (every request when prefix
+    /// caching is off).
+    pub ttft_miss: Percentiles,
     /// Inter-token latency percentiles (gap between consecutive tokens of
     /// one request; preemption gaps included).
     pub itl: Percentiles,
     /// End-to-end request latency percentiles.
     pub e2e: Percentiles,
+    /// Admissions that matched a cached prompt prefix.
+    pub prefix_hits: usize,
+    /// Admissions that matched nothing (every admission when prefix
+    /// caching is off).
+    pub prefix_misses: usize,
+    /// Prompt tokens served from cached KV pages instead of prefill
+    /// (re-admissions after preemption count again — recompute skipped
+    /// twice is saved twice).
+    pub prefix_cached_tokens: usize,
+    /// Prefix-index counters at end of run (`None` when prefix caching is
+    /// off).
+    pub prefix: Option<pit_prefix::PrefixStats>,
     /// KV pool counters at end of run (leak check: `kv.conserved()`).
     pub kv: pit_kv::KvStats,
     /// Mean KV-page occupancy across iterations.
@@ -379,6 +445,16 @@ impl DecodeReport {
             return 0.0;
         }
         self.decode_tokens as f64 / self.iterations as f64
+    }
+
+    /// Fraction of admissions that hit the prompt-prefix cache (0 when
+    /// prefix caching is off or nothing was admitted).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let total = self.prefix_hits + self.prefix_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.prefix_hits as f64 / total as f64
     }
 }
 
@@ -422,6 +498,22 @@ impl fmt::Display for DecodeReport {
             self.itl.p99 * 1e3,
             self.e2e.p95 * 1e3
         )?;
+        if self.prefix_hits + self.prefix_misses > 0 {
+            writeln!(
+                f,
+                "  prefix: {} hits / {} misses ({:.0}% of admissions), {} prompt tokens served \
+                 from cache; ttft p95 hit {:.2} ms / miss {:.2} ms",
+                self.prefix_hits,
+                self.prefix_misses,
+                self.prefix_hit_rate() * 100.0,
+                self.prefix_cached_tokens,
+                self.ttft_hit.p95 * 1e3,
+                self.ttft_miss.p95 * 1e3,
+            )?;
+        }
+        if let Some(p) = &self.prefix {
+            writeln!(f, "  {p}")?;
+        }
         writeln!(
             f,
             "  {} (mean occupancy {:.1}%, peak {:.1}%, mean fragmentation {:.1}%)",
@@ -472,7 +564,7 @@ mod tests {
         let mut m = DecodeMetrics::new();
         m.record_step(100, 0, 160, 0.5, 0.2, 0.1); // prefill iteration
         m.record_step(0, 8, 16, 0.25, 0.4, 0.3); // decode iteration
-        m.record_ttft(0.010);
+        m.record_ttft(0.010, false);
         m.record_itl(0.002);
         m.record_itl(0.004);
         m.record_e2e(0.050);
@@ -499,11 +591,48 @@ mod tests {
         assert_eq!(r.itl.p99, 0.004);
         assert!(r.kv.conserved());
         assert!((r.mean_decode_batch() - 4.0).abs() < 1e-12);
+        // No prefix caching: every TTFT lands in the miss bucket.
+        assert_eq!(r.ttft_miss.p50, 0.010);
+        assert_eq!(r.ttft_hit.p50, 0.0);
+        assert_eq!(r.prefix_hit_rate(), 0.0);
+        assert!(r.prefix.is_none());
         let text = r.to_string();
         assert!(text.contains("ttft"));
         assert!(text.contains("itl"));
         assert!(text.contains("fragmentation"));
         assert!(text.contains("padding waste"));
+    }
+
+    #[test]
+    fn decode_collector_splits_ttft_by_prefix_outcome() {
+        let mut m = DecodeMetrics::new();
+        m.record_prefix_admission(320, true);
+        m.record_prefix_admission(0, false);
+        m.record_prefix_admission(128, true);
+        m.record_ttft(0.004, true);
+        m.record_ttft(0.020, false);
+        m.record_ttft(0.006, true);
+        m.record_e2e(0.1);
+        m.set_prefix(pit_prefix::RadixPrefixIndex::new(16).stats());
+        let kv = pit_kv::PagedKvCache::new(pit_kv::KvConfig::new(16, 8)).stats();
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        let r = m.report("continuous-prefix-cached", kv, cache);
+        assert_eq!(r.prefix_hits, 2);
+        assert_eq!(r.prefix_misses, 1);
+        assert_eq!(r.prefix_cached_tokens, 448);
+        assert!((r.prefix_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.ttft_hit.p99, 0.006);
+        assert_eq!(r.ttft_miss.p99, 0.020);
+        assert!(r.ttft_hit.p95 < r.ttft_miss.p95);
+        assert!(r.prefix.is_some());
+        let text = r.to_string();
+        assert!(text.contains("prefix"));
+        assert!(text.contains("from cache"));
+        assert!(text.contains("hit rate"));
     }
 
     #[test]

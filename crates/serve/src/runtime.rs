@@ -19,7 +19,7 @@
 //! deterministic comparisons (benches, tests).
 
 use crate::metrics::{CacheStats, Metrics, ServingReport};
-use crate::queue::{BoundedQueue, PopResult};
+use crate::queue::{BoundedQueue, PopResult, TryPushError};
 use crate::scheduler::{BatchPolicy, FormedBatch};
 use pit_core::jit::{JitCache, KernelKey};
 use pit_core::select_kernel;
@@ -34,11 +34,30 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// How the open-loop front end reacts to a full admission queue.
+///
+/// Closed-loop clients always block (a client that cannot enqueue cannot
+/// generate more load); the open-loop replays choose: block the submitter
+/// (arrivals slip later — the trace clock distorts under overload) or
+/// reject the request outright (load-shedding: arrivals stay on schedule
+/// and the drop count is the overload signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Block the submitter until the queue has room (PR 2 behaviour).
+    #[default]
+    Block,
+    /// Reject the request when the queue is full; rejected requests are
+    /// counted in [`ServingReport::rejected`] and never served.
+    RejectWhenFull,
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Batch-formation policy.
     pub policy: BatchPolicy,
+    /// Full-queue behaviour of the open-loop front end.
+    pub admission: AdmissionMode,
     /// Worker threads executing batches.
     pub workers: usize,
     /// Closed-loop client threads generating load.
@@ -68,6 +87,7 @@ impl ServeConfig {
     pub fn new(policy: BatchPolicy) -> Self {
         ServeConfig {
             policy,
+            admission: AdmissionMode::Block,
             workers: 2,
             clients: 8,
             queue_capacity: 64,
@@ -384,7 +404,9 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
         }
         s.spawn(|| scheduler_loop(cfg, &admission, &batches, min_fill));
 
-        // Open-loop submitter: sleep to each arrival timestamp, then admit.
+        // Open-loop submitter: sleep to each arrival timestamp, then admit
+        // — blocking on backpressure or shedding the request, per the
+        // configured admission mode.
         let submitter = s.spawn(|| {
             for (&len, &arrival) in trace.lens.iter().zip(&trace.arrival_s) {
                 let target = started + Duration::from_secs_f64(arrival);
@@ -397,8 +419,17 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
                     submitted: Instant::now(),
                     done,
                 };
-                if admission.push(request).is_err() {
-                    break;
+                match cfg.admission {
+                    AdmissionMode::Block => {
+                        if admission.push(request).is_err() {
+                            break;
+                        }
+                    }
+                    AdmissionMode::RejectWhenFull => match admission.try_push(request) {
+                        Ok(()) => {}
+                        Err(TryPushError::Full) => metrics.record_rejected(),
+                        Err(TryPushError::ClosedQueue) => break,
+                    },
                 }
             }
         });
@@ -433,7 +464,17 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
             clock_s = clock_s.max(trace.arrival_s[next]);
         }
         while next < trace.len() && trace.arrival_s[next] <= clock_s {
-            pending.push_back((trace.lens[next], trace.arrival_s[next]));
+            // Reject-when-full sheds arrivals beyond the queue bound at
+            // their arrival instant (the deterministic twin of try_push);
+            // blocking mode queues without bound, as a stalled submitter
+            // eventually admits everything.
+            if cfg.admission == AdmissionMode::RejectWhenFull
+                && pending.len() >= cfg.queue_capacity.max(1)
+            {
+                metrics.record_rejected();
+            } else {
+                pending.push_back((trace.lens[next], trace.arrival_s[next]));
+            }
             next += 1;
         }
         high_water = high_water.max(pending.len());
@@ -602,6 +643,43 @@ mod tests {
         assert_eq!(report.real_tokens, trace.total_tokens());
         assert_eq!(report.padding_waste(), 0.0);
         assert!(report.latency.p50 > 0.0);
+        assert!(report.queue_high_water <= cfg.queue_capacity);
+    }
+
+    #[test]
+    fn reject_when_full_sheds_load_deterministically() {
+        let mut cfg = small_cfg(BatchPolicy::PaddingFree { token_budget: 1024 });
+        cfg.queue_capacity = 4;
+        cfg.admission = AdmissionMode::RejectWhenFull;
+        // Everything arrives in one burst: only the queue bound survives.
+        let trace = ArrivalTrace {
+            lens: vec![64; 32],
+            arrival_s: vec![0.0; 32],
+        };
+        let r = simulate_trace_arrivals(&cfg, &trace);
+        assert_eq!(r.rejected, 32 - 4, "burst beyond the bound is shed");
+        assert_eq!(r.requests, 4);
+        assert_eq!(r.requests + r.rejected, trace.len());
+        let again = simulate_trace_arrivals(&cfg, &trace);
+        assert_eq!(again.rejected, r.rejected, "rejection is deterministic");
+        // Blocking admission never rejects — it queues unbounded instead.
+        cfg.admission = AdmissionMode::Block;
+        let r = simulate_trace_arrivals(&cfg, &trace);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.requests, trace.len());
+        assert!(r.to_string().contains("rejected"));
+    }
+
+    #[test]
+    fn reject_when_full_threaded_accounts_every_request() {
+        let mut cfg = small_cfg(BatchPolicy::PaddingFree { token_budget: 1024 });
+        cfg.queue_capacity = 2;
+        cfg.admission = AdmissionMode::RejectWhenFull;
+        // High rate over a tiny queue: some rejections are likely, but
+        // served + rejected must account for the whole trace either way.
+        let trace = ArrivalTrace::poisson(&DatasetSpec::mnli(), 48, 5000.0, 29);
+        let report = serve_trace_arrivals(&cfg, &trace);
+        assert_eq!(report.requests + report.rejected, trace.len());
         assert!(report.queue_high_water <= cfg.queue_capacity);
     }
 

@@ -13,4 +13,4 @@ pub mod patterns;
 
 pub use batching::{padding_waste, Batch, SplitBatch};
 pub use datasets::DatasetSpec;
-pub use patterns::{ArrivalTrace, DecodeSpec, DecodeTrace};
+pub use patterns::{ArrivalTrace, DecodeSpec, DecodeTrace, SharedPrefixSpec};

@@ -44,6 +44,50 @@ impl ArrivalTrace {
         ArrivalTrace { lens, arrival_s }
     }
 
+    /// Samples a bursty on/off trace: arrivals are Poisson at `burst_rps`
+    /// during ON phases (exponential duration, mean `mean_on_s`) separated
+    /// by silent OFF gaps (exponential, mean `mean_off_s`) — the classic
+    /// interrupted-Poisson model of diurnal/bursty serving traffic, which
+    /// stresses admission far harder than a smooth Poisson stream of the
+    /// same average rate. Deterministic per seed.
+    pub fn bursty(
+        spec: &DatasetSpec,
+        n: usize,
+        burst_rps: f64,
+        mean_on_s: f64,
+        mean_off_s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(burst_rps > 0.0, "burst arrival rate must be positive");
+        assert!(mean_on_s > 0.0, "ON phases must have positive mean length");
+        assert!(mean_off_s >= 0.0, "OFF gap mean cannot be negative");
+        let lens = spec.sample_lengths(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+        let mut exp = move |mean: f64| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            -u.ln() * mean
+        };
+        let mut t = 0.0_f64;
+        let mut on_left = exp(mean_on_s);
+        let mut arrival_s = Vec::with_capacity(n);
+        for _ in 0..n {
+            loop {
+                let gap = exp(1.0 / burst_rps);
+                if gap <= on_left {
+                    on_left -= gap;
+                    t += gap;
+                    break;
+                }
+                // The ON window ends before the next arrival: burn its
+                // remainder, sleep through an OFF gap, start a new window.
+                t += on_left + exp(mean_off_s);
+                on_left = exp(mean_on_s);
+            }
+            arrival_s.push(t);
+        }
+        ArrivalTrace { lens, arrival_s }
+    }
+
     /// Number of requests in the trace.
     pub fn len(&self) -> usize {
         self.lens.len()
@@ -134,6 +178,10 @@ pub struct DecodeTrace {
     /// Arrival time of each request (seconds since trace start),
     /// non-decreasing.
     pub arrival_s: Vec<f64>,
+    /// Prompt token IDs per request — what prefix caching matches on.
+    /// Empty when the trace carries only lengths (no prompt content);
+    /// when present, `prompt_ids[i].len() == prompt_lens[i]`.
+    pub prompt_ids: Vec<Vec<u32>>,
 }
 
 impl DecodeTrace {
@@ -153,6 +201,7 @@ impl DecodeTrace {
             prompt_lens: arrivals.lens,
             output_lens,
             arrival_s: arrivals.arrival_s,
+            prompt_ids: Vec::new(),
         }
     }
 
@@ -179,6 +228,118 @@ impl DecodeTrace {
     /// Total real tokens the trace serves (prompt + output).
     pub fn total_tokens(&self) -> usize {
         self.total_prompt_tokens() + self.total_output_tokens()
+    }
+}
+
+/// Seeded generator of prompts with *shared prefixes*: every prompt is
+/// `system prompt ++ template ++ unique tail`, with the system prompt and
+/// template drawn from small pools under a Zipf-ish popularity law — the
+/// first-order model of production chat traffic, where a handful of
+/// system prompts and few-shot templates front nearly every request.
+/// This is the cross-request redundancy prefix caching harvests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedPrefixSpec {
+    /// Vocabulary size token IDs are drawn from.
+    pub vocab: u32,
+    /// Distinct system prompts in the pool.
+    pub num_system_prompts: usize,
+    /// Tokens per system prompt.
+    pub system_tokens: usize,
+    /// Distinct few-shot/task templates per system prompt.
+    pub num_templates: usize,
+    /// Tokens per template.
+    pub template_tokens: usize,
+    /// Minimum unique-tail tokens per request (the user's own turn).
+    pub unique_min: usize,
+    /// Maximum unique-tail tokens per request.
+    pub unique_max: usize,
+    /// Zipf exponent of pool popularity (0 = uniform; larger = a few
+    /// system prompts dominate, raising the achievable hit rate).
+    pub zipf_exponent: f64,
+}
+
+impl SharedPrefixSpec {
+    /// A chat-assistant-style workload: 8 system prompts of 256 tokens,
+    /// 24 templates of 64 tokens each, 16–96 unique tokens per request,
+    /// Zipf 1.1 popularity — most prompts share their first ~320 tokens
+    /// with many other live requests.
+    pub fn assistants() -> Self {
+        SharedPrefixSpec {
+            vocab: 32_000,
+            num_system_prompts: 8,
+            system_tokens: 256,
+            num_templates: 24,
+            template_tokens: 64,
+            unique_min: 16,
+            unique_max: 96,
+            zipf_exponent: 1.1,
+        }
+    }
+
+    /// Token stream of pool entry `k` in pool `tag`, deterministic per
+    /// spec seed.
+    fn pool_tokens(&self, seed: u64, tag: u64, k: usize, len: usize) -> Vec<u32> {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ tag.rotate_left(17) ^ (k as u64).wrapping_mul(0x9e37));
+        (0..len).map(|_| rng.gen_range(0..self.vocab)).collect()
+    }
+
+    /// Samples a pool index with probability `∝ 1/(rank+1)^zipf_exponent`.
+    fn zipf_pick(&self, pool: usize, rng: &mut StdRng) -> usize {
+        let weights: Vec<f64> = (0..pool)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(self.zipf_exponent))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut u = rng.gen_range(0.0..1.0) * total;
+        for (k, w) in weights.iter().enumerate() {
+            if u < *w {
+                return k;
+            }
+            u -= w;
+        }
+        pool - 1
+    }
+
+    /// Generates `n` prompts (token IDs), deterministic per seed.
+    pub fn prompts(&self, n: usize, seed: u64) -> Vec<Vec<u32>> {
+        assert!(self.vocab >= 2, "need a non-trivial vocabulary");
+        assert!(self.num_system_prompts >= 1 && self.num_templates >= 1);
+        assert!(self.unique_max >= self.unique_min);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6c62_272e_07bb_0142);
+        (0..n)
+            .map(|_| {
+                let sys = self.zipf_pick(self.num_system_prompts, &mut rng);
+                let tpl = self.zipf_pick(self.num_templates, &mut rng);
+                let tail_len = rng.gen_range(self.unique_min..self.unique_max + 1);
+                let mut prompt = self.pool_tokens(seed, 0x5359, sys, self.system_tokens);
+                // Templates are per-system-prompt so template reuse only
+                // pays off behind a shared system prefix (page-granular
+                // matching cannot reuse a template under a different
+                // prefix anyway).
+                prompt.extend(self.pool_tokens(
+                    seed,
+                    0x54504c ^ (sys as u64) << 32,
+                    tpl,
+                    self.template_tokens,
+                ));
+                prompt.extend((0..tail_len).map(|_| rng.gen_range(0..self.vocab)));
+                prompt
+            })
+            .collect()
+    }
+
+    /// Builds a [`DecodeTrace`] with prompt content: prompts from this
+    /// spec, output lengths from `decode`, and the caller's arrival
+    /// timestamps (e.g. [`ArrivalTrace::bursty`]). Deterministic per seed.
+    pub fn decode_trace(&self, decode: &DecodeSpec, arrival_s: Vec<f64>, seed: u64) -> DecodeTrace {
+        let n = arrival_s.len();
+        let prompt_ids = self.prompts(n, seed);
+        DecodeTrace {
+            prompt_lens: prompt_ids.iter().map(Vec::len).collect(),
+            output_lens: decode.sample_output_lens(n, seed),
+            arrival_s,
+            prompt_ids,
+        }
     }
 }
 
@@ -299,6 +460,67 @@ mod tests {
         assert_eq!(t.prompt_lens, a.lens);
         assert_eq!(t.arrival_s, a.arrival_s);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn bursty_trace_is_seeded_ordered_and_gappy() {
+        let spec = DatasetSpec::mnli();
+        let a = ArrivalTrace::bursty(&spec, 256, 200.0, 0.2, 1.0, 11);
+        let b = ArrivalTrace::bursty(&spec, 256, 200.0, 0.2, 1.0, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, ArrivalTrace::bursty(&spec, 256, 200.0, 0.2, 1.0, 12));
+        assert_eq!(a.len(), 256);
+        assert!(a.arrival_s.windows(2).all(|w| w[0] <= w[1]));
+        // ON/OFF structure: inter-arrival gaps are bimodal — most are
+        // burst-rate gaps (~5 ms), but OFF periods inject gaps far longer
+        // than Poisson at the same burst rate would ever produce.
+        let gaps: Vec<f64> = a.arrival_s.windows(2).map(|w| w[1] - w[0]).collect();
+        let long = gaps.iter().filter(|&&g| g > 0.5).count();
+        let short = gaps.iter().filter(|&&g| g < 0.05).count();
+        assert!(long >= 3, "expected OFF gaps, saw {long}");
+        assert!(short > gaps.len() / 2, "bursts dominate, saw {short}");
+    }
+
+    #[test]
+    fn shared_prefix_prompts_share_page_aligned_prefixes() {
+        let spec = SharedPrefixSpec::assistants();
+        let a = spec.prompts(128, 5);
+        assert_eq!(a, spec.prompts(128, 5), "seeded");
+        assert_ne!(a, spec.prompts(128, 6));
+        // Every prompt starts with one of the pool's system prompts.
+        let systems: Vec<Vec<u32>> = (0..spec.num_system_prompts)
+            .map(|k| spec.pool_tokens(5, 0x5359, k, spec.system_tokens))
+            .collect();
+        let mut counts = vec![0usize; spec.num_system_prompts];
+        for p in &a {
+            assert!(p.len() >= spec.system_tokens + spec.template_tokens + spec.unique_min);
+            assert!(p.len() <= spec.system_tokens + spec.template_tokens + spec.unique_max);
+            let k = systems
+                .iter()
+                .position(|s| p.starts_with(s))
+                .expect("prompt starts with a pooled system prompt");
+            counts[k] += 1;
+        }
+        // Zipf skew: the most popular system prompt beats the uniform
+        // share, so prefix reuse concentrates where caching can win.
+        assert!(counts[0] > 128 / spec.num_system_prompts, "{counts:?}");
+    }
+
+    #[test]
+    fn shared_prefix_decode_trace_pairs_ids_and_lens() {
+        let spec = SharedPrefixSpec::assistants();
+        let arrivals = ArrivalTrace::bursty(&DatasetSpec::mnli(), 64, 300.0, 0.2, 0.5, 9);
+        let t = spec.decode_trace(&DecodeSpec::chat(), arrivals.arrival_s.clone(), 9);
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.prompt_ids.len(), t.len());
+        for (ids, &len) in t.prompt_ids.iter().zip(&t.prompt_lens) {
+            assert_eq!(ids.len(), len);
+        }
+        assert_eq!(t.arrival_s, arrivals.arrival_s);
+        assert!(t.output_lens.iter().all(|&o| o >= 1));
+        // Plain poisson traces carry no prompt content.
+        let plain = DecodeTrace::poisson(&DatasetSpec::mnli(), &DecodeSpec::chat(), 8, 10.0, 1);
+        assert!(plain.prompt_ids.is_empty());
     }
 
     #[test]

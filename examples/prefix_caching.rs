@@ -1,0 +1,131 @@
+//! Prompt-prefix caching: radix-indexed KV reuse vs. no-reuse continuous
+//! batching, end to end on a seeded shared-prefix trace.
+//!
+//! The workload is the redundancy prefix caching exists for: every prompt
+//! is `system prompt ++ template ++ unique tail`, with 8 system prompts
+//! and 24 templates under a Zipf popularity law (`SharedPrefixSpec`), and
+//! requests arrive in bursts (`ArrivalTrace::bursty` on/off arrivals) —
+//! exactly when many concurrent requests carry the same prefix. The model
+//! is OPT-1.3B in fp16 on the modelled A100.
+//!
+//! Both runs get the *same* KV-page budget and the same continuous
+//! padding-free scheduler; the only difference is `prefix_caching`:
+//!
+//! - **no-reuse** (PR 3's policy): every request prefills its whole
+//!   prompt, shared prefix included, every time;
+//! - **prefix-cached**: admission matches the prompt against the radix
+//!   index, shares the matched pages (refcounted, page-granular), and
+//!   prefills only the suffix; completed prefills publish their prompt
+//!   pages, and the index's LRU leaves are evicted when decode allocation
+//!   needs the pages back.
+//!
+//! ```bash
+//! cargo run --release --example prefix_caching
+//! ```
+
+use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+use pit::workloads::{ArrivalTrace, DatasetSpec, DecodeSpec, SharedPrefixSpec};
+
+fn main() {
+    let spec = SharedPrefixSpec::assistants();
+    let out = DecodeSpec::geometric(96.0, 1, 384);
+    let arrivals = ArrivalTrace::bursty(&DatasetSpec::mnli(), 160, 400.0, 0.25, 0.5, 41);
+    let trace = spec.decode_trace(&out, arrivals.arrival_s, 41);
+    println!(
+        "trace: {} requests, {} prompt + {} output tokens \
+         ({} system prompts x {} tokens, {} templates x {} tokens, bursty arrivals)\n",
+        trace.len(),
+        trace.total_prompt_tokens(),
+        trace.total_output_tokens(),
+        spec.num_system_prompts,
+        spec.system_tokens,
+        spec.num_templates,
+        spec.template_tokens,
+    );
+
+    // Equal KV budget for both policies — reuse must win inside the same
+    // memory, not by spending more of it.
+    let base = {
+        let mut cfg =
+            DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
+        cfg.kv_pages = Some(2048);
+        cfg
+    };
+    let mut plain = base.clone();
+    plain.prefix_caching = false;
+    let mut cached = base.clone();
+    cached.prefix_caching = true;
+    // Acceptance mode: the refcounted pool's invariants are checked after
+    // every iteration of the cached run.
+    cached.verify_invariants = true;
+
+    let no_reuse = simulate_decode_trace(&plain, &trace);
+    println!("{no_reuse}\n");
+    let reuse = simulate_decode_trace(&cached, &trace);
+    println!("{reuse}\n");
+
+    println!(
+        "prefix-cached vs no-reuse: prefill {} -> {} tokens ({:.1}% served from cache), \
+         ttft p95 {:.1} -> {:.1} ms, modelled GPU time {:.2} -> {:.2} s",
+        no_reuse.prefill_tokens,
+        reuse.prefill_tokens,
+        100.0 * reuse.prefix_cached_tokens as f64 / no_reuse.prefill_tokens as f64,
+        no_reuse.ttft.p95 * 1e3,
+        reuse.ttft.p95 * 1e3,
+        no_reuse.gpu_time_s,
+        reuse.gpu_time_s,
+    );
+
+    // The CI smoke test leans on these assertions.
+    assert_eq!(reuse.requests, trace.len(), "every request served");
+    assert_eq!(no_reuse.requests, trace.len());
+    assert_eq!(
+        reuse.decode_tokens, no_reuse.decode_tokens,
+        "identical decode work arrived"
+    );
+    assert!(
+        reuse.prefill_tokens < no_reuse.prefill_tokens,
+        "prefix caching must cut prefill FLOPs ({} vs {})",
+        reuse.prefill_tokens,
+        no_reuse.prefill_tokens,
+    );
+    assert!(
+        reuse.prefix_hit_rate() > 0.5,
+        "most admissions share a prefix on this trace (rate {:.2})",
+        reuse.prefix_hit_rate(),
+    );
+    assert!(
+        reuse.ttft.p95 < no_reuse.ttft.p95,
+        "prefix caching must cut TTFT p95 ({:.1} vs {:.1} ms)",
+        reuse.ttft.p95 * 1e3,
+        no_reuse.ttft.p95 * 1e3,
+    );
+    assert!(
+        reuse.gpu_time_s < no_reuse.gpu_time_s,
+        "the same service must cost strictly less modelled GPU time"
+    );
+    // Both TTFT buckets are populated (the split itself is reported, not
+    // ordered: under bursty overload, queueing delay — not prefill — can
+    // dominate either bucket).
+    assert!(reuse.ttft_hit.p95 > 0.0 && reuse.ttft_miss.p95 > 0.0);
+    let ix = reuse.prefix.expect("prefix index stats attached");
+    assert!(ix.hits as usize >= reuse.prefix_hits);
+    assert_eq!(
+        ix.inserted_pages,
+        ix.evicted_pages + ix.pages_held as u64,
+        "index page conservation"
+    );
+    // Refcounted sharing stayed sound the whole run (checked after every
+    // iteration via verify_invariants) and drained leak-free at the end.
+    for report in [&reuse, &no_reuse] {
+        assert!(
+            report.kv.conserved(),
+            "[{}] KV pages leaked: {}",
+            report.policy,
+            report.kv
+        );
+        assert!(report.kv_peak_occupancy <= 1.0);
+    }
+    assert!(reuse.kv.shared_admits > 0, "pages were actually shared");
+    println!("\nprefix caching cuts prefill work and TTFT at equal KV budget ✓");
+}

@@ -15,8 +15,11 @@
 //!   SRead/SWrite, the online sparsity detector and kernel selection.
 //! - [`models`] — transformer/MoE model simulations used in the evaluation.
 //! - [`workloads`] — synthetic dataset/workload generators.
-//! - [`kv`] — paged KV-cache manager: fixed-size token pages,
-//!   alloc/extend/free, occupancy/fragmentation stats, admission signal.
+//! - [`kv`] — paged KV-cache manager: fixed-size refcounted token pages,
+//!   alloc/extend/free plus shared admission and copy-on-write,
+//!   occupancy/fragmentation stats, admission signal.
+//! - [`prefix`] — radix-tree prompt-prefix cache mapping token-ID
+//!   prefixes to shared KV pages, with LRU leaf eviction.
 //! - [`serve`] — concurrent serving runtime: bounded admission,
 //!   padding-free continuous batching (prefill and decode phase), worker
 //!   pool, serving metrics.
@@ -29,6 +32,7 @@ pub use pit_gpusim as gpusim;
 pub use pit_kernels as kernels;
 pub use pit_kv as kv;
 pub use pit_models as models;
+pub use pit_prefix as prefix;
 pub use pit_serve as serve;
 pub use pit_sparse as sparse;
 pub use pit_tensor as tensor;

@@ -1,18 +1,28 @@
 //! Property-based tests (proptest) for the paged KV-cache allocator and
 //! its use by the decode runtime: page conservation (allocated = freed +
-//! live), no double-frees, occupancy bounds, and end-of-run leak freedom
-//! under completion and preemption.
+//! live), no double-frees, occupancy bounds, refcounted sharing (no page
+//! freed while referenced, copy-on-write never mutates a shared page),
+//! and end-of-run leak freedom under completion and preemption.
 
 use pit::kv::{KvConfig, KvError, PagedKvCache};
 use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
-use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
+use pit::workloads::{ArrivalTrace, DatasetSpec, DecodeSpec, DecodeTrace, SharedPrefixSpec};
 use proptest::prelude::*;
 
 /// Deterministic operation stream driver: interprets a seed as a sequence
-/// of alloc/extend/free/preempt operations over a bounded id space and
-/// checks the pool invariants after every step.
-fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) -> PagedKvCache {
+/// of alloc/extend/free/preempt/share/retain/release operations over a
+/// bounded id space and checks the pool invariants after every step.
+/// Returns the pool and the externally retained pages still to release
+/// (the prefix-index mirror).
+fn drive_ops(
+    page_size: usize,
+    pages: usize,
+    ids: u64,
+    ops: usize,
+    seed: u64,
+) -> (PagedKvCache, Vec<u32>) {
     let mut kv = PagedKvCache::new(KvConfig::new(page_size, pages));
+    let mut retained: Vec<u32> = Vec::new();
     let mut h = seed | 1;
     let mut next = || {
         // xorshift64* — deterministic op stream per seed.
@@ -27,7 +37,7 @@ fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) ->
         let tokens = (r >> 32) as usize % (3 * page_size) + 1;
         let live_before = kv.live_pages();
         let free_before = kv.free_pages();
-        match r % 4 {
+        match r % 7 {
             0 => {
                 let was_live = kv.seq_tokens(id).is_some();
                 match kv.alloc(id, tokens) {
@@ -47,11 +57,27 @@ fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) ->
             }
             1 => {
                 let held = kv.seq_tokens(id);
+                // If growth will write into a partially filled *shared*
+                // page, extend must copy it, never mutate it in place.
+                let cow_source = held.filter(|&u| u % page_size != 0).and_then(|u| {
+                    let p = kv.seq_pages(id).expect("live")[u / page_size];
+                    (kv.page_refs(p) > 1).then_some((u / page_size, p, kv.page_written(p)))
+                });
                 match kv.extend(id, tokens) {
                     Ok(n) => {
                         let before = held.expect("extend succeeded on unknown seq");
                         assert_eq!(kv.seq_tokens(id), Some(before + tokens));
                         assert_eq!(kv.live_pages(), live_before + n);
+                        if let Some((bi, p, written)) = cow_source {
+                            let now = kv.seq_pages(id).expect("live")[bi];
+                            assert_ne!(now, p, "copy-on-write replaced the shared page");
+                            assert!(kv.page_refs(p) >= 1, "shared page stays live");
+                            assert_eq!(
+                                kv.page_written(p),
+                                written,
+                                "copy-on-write never mutates a shared page"
+                            );
+                        }
                     }
                     Err(KvError::UnknownSeq(_)) => assert!(held.is_none()),
                     Err(KvError::OutOfPages { .. }) => {
@@ -63,11 +89,28 @@ fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) ->
             }
             2 => {
                 let was_live = kv.seq_tokens(id).is_some();
+                // Pages another holder also references must survive this
+                // free with one reference fewer.
+                let shared: Vec<(u32, u32)> = kv
+                    .seq_pages(id)
+                    .map(|pages| {
+                        pages
+                            .iter()
+                            .map(|&p| (p, kv.page_refs(p)))
+                            .filter(|&(_, r)| r > 1)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let held_pages = kv.seq_pages(id).map(<[u32]>::len).unwrap_or(0);
                 match kv.free(id) {
                     Ok(n) => {
                         assert!(was_live);
-                        assert!(n >= 1, "live sequences hold at least one page");
+                        assert!(n <= held_pages, "cannot free more than it held");
                         assert_eq!(kv.free_pages(), free_before + n);
+                        for &(p, r) in &shared {
+                            assert_eq!(kv.page_refs(p), r - 1);
+                            assert!(kv.page_refs(p) >= 1, "no page freed while referenced");
+                        }
                         // Freed exactly once: a second free must fail.
                         assert_eq!(kv.free(id), Err(KvError::UnknownSeq(id)));
                     }
@@ -75,7 +118,7 @@ fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) ->
                     Err(e) => panic!("unexpected free error {e:?}"),
                 }
             }
-            _ => {
+            3 => {
                 let preemptions_before = kv.stats().preemptions;
                 match kv.preempt(id) {
                     Ok(_) => assert_eq!(kv.stats().preemptions, preemptions_before + 1),
@@ -85,6 +128,53 @@ fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) ->
                     Err(e) => panic!("unexpected preempt error {e:?}"),
                 }
             }
+            4 => {
+                // Shared admission: a fresh id adopts a live donor's
+                // written prefix without taking pages from the pool.
+                let donor = (r >> 16) % ids;
+                let Some(donor_used) = kv.seq_tokens(donor).filter(|&u| u > 0) else {
+                    continue;
+                };
+                let prefix_tokens = (r >> 40) as usize % donor_used + 1;
+                let prefix_pages: Vec<u32> = kv.seq_pages(donor).expect("live")
+                    [..kv.config().pages_for(prefix_tokens)]
+                    .to_vec();
+                match kv.alloc_shared(id, &prefix_pages, prefix_tokens) {
+                    Ok(n) => {
+                        assert_eq!(n, prefix_pages.len());
+                        assert_eq!(kv.live_pages(), live_before, "sharing takes no pages");
+                        assert_eq!(kv.free_pages(), free_before);
+                        assert_eq!(kv.seq_tokens(id), Some(prefix_tokens));
+                        for &p in &prefix_pages {
+                            assert!(kv.page_refs(p) >= 2);
+                        }
+                    }
+                    Err(KvError::AlreadyAllocated(e)) => assert_eq!(e, id),
+                    Err(e) => panic!("unexpected alloc_shared error {e:?}"),
+                }
+            }
+            5 => {
+                // External retain (the prefix index pinning a page).
+                let Some(&page) = kv.seq_tokens(id).and_then(|_| {
+                    let pages = kv.seq_pages(id).expect("live");
+                    pages.get((r >> 24) as usize % pages.len())
+                }) else {
+                    continue;
+                };
+                let refs_before = kv.page_refs(page);
+                kv.retain_pages(&[page]).expect("live page retains");
+                assert_eq!(kv.page_refs(page), refs_before + 1);
+                assert_eq!(kv.live_pages(), live_before);
+                retained.push(page);
+            }
+            _ => {
+                // External release of one previously retained page.
+                let Some(page) = retained.pop() else { continue };
+                let refs_before = kv.page_refs(page);
+                let freed = kv.release_pages(&[page]).expect("was retained");
+                assert_eq!(freed, usize::from(refs_before == 1));
+                assert_eq!(kv.free_pages(), free_before + freed);
+            }
         }
         kv.check_invariants().expect("pool invariant violated");
         let s = kv.stats();
@@ -92,15 +182,16 @@ fn drive_ops(page_size: usize, pages: usize, ids: u64, ops: usize, seed: u64) ->
         assert_eq!(s.live_pages + s.free_pages, s.capacity_pages, "page leak");
         assert_eq!(s.allocated_total, s.freed_total + s.live_pages as u64);
     }
-    kv
+    (kv, retained)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random alloc/extend/free/preempt streams never violate the pool's
-    /// conservation invariants, and draining every survivor afterwards
-    /// returns the pool to a fully-free, leak-free state.
+    /// Random alloc/extend/free/preempt/share/retain/release streams never
+    /// violate the pool's conservation invariants, and draining every
+    /// survivor (sequences and external retains) afterwards returns the
+    /// pool to a fully-free, leak-free state.
     #[test]
     fn random_op_streams_conserve_pages(
         page_size in 1usize..32,
@@ -109,14 +200,18 @@ proptest! {
         ops in 1usize..400,
         seed in 0u64..10_000,
     ) {
-        let mut kv = drive_ops(page_size, pages, ids, ops, seed);
+        let (mut kv, retained) = drive_ops(page_size, pages, ids, ops, seed);
         for id in 0..ids {
             let _ = kv.free(id);
+        }
+        if !retained.is_empty() {
+            kv.release_pages(&retained).expect("retained pages release");
         }
         let s = kv.stats();
         prop_assert!(s.conserved(), "leak after draining: {s:?}");
         prop_assert_eq!(s.free_pages, s.capacity_pages);
         prop_assert_eq!(s.used_tokens, 0);
+        prop_assert_eq!(kv.shared_pages(), 0);
         kv.check_invariants().expect("pool invariant violated");
     }
 
@@ -151,6 +246,54 @@ proptest! {
         kv.check_invariants().expect("pool invariant violated");
     }
 
+    /// A chain of sequences sharing one donor's prefix: every sharer's
+    /// copy-on-write and growth stays private, frees in any order never
+    /// strand or double-free a page, and the books balance.
+    #[test]
+    fn shared_prefix_chains_conserve_across_interleavings(
+        page_size in 2usize..32,
+        full_pages in 1usize..6,
+        partial in 1usize..31,
+        sharers in 1usize..8,
+        grow in 1usize..48,
+        seed in 0u64..10_000,
+    ) {
+        let partial = partial.min(page_size - 1);
+        let donor_tokens = full_pages * page_size + partial;
+        let pool = (full_pages + 1) * (sharers + 1) + sharers * (grow / page_size + 2);
+        let mut kv = PagedKvCache::new(KvConfig::new(page_size, pool));
+        kv.alloc(0, donor_tokens).expect("pool sized for donor");
+        let donor_pages: Vec<u32> = kv.seq_pages(0).expect("live").to_vec();
+        for s in 1..=sharers as u64 {
+            // Every sharer adopts the full donor prefix including the
+            // partially written boundary page...
+            kv.alloc_shared(s, &donor_pages, donor_tokens).expect("pool sized");
+            // ...then grows, which must copy that boundary page.
+            let cow_before = kv.stats().cow_copies;
+            kv.extend(s, grow).expect("pool sized for growth");
+            prop_assert_eq!(kv.stats().cow_copies, cow_before + 1);
+            prop_assert_eq!(kv.seq_tokens(s), Some(donor_tokens + grow));
+            kv.check_invariants().expect("pool invariant violated");
+        }
+        // The boundary page is exclusive to the donor again; full prefix
+        // pages are shared by everyone.
+        prop_assert_eq!(kv.page_refs(donor_pages[full_pages]), 1);
+        for &p in &donor_pages[..full_pages] {
+            prop_assert_eq!(kv.page_refs(p), sharers as u32 + 1);
+        }
+        // Free in a seed-dependent interleaving: donor first or last.
+        let order: Vec<u64> = if seed % 2 == 0 {
+            (0..=sharers as u64).collect()
+        } else {
+            (0..=sharers as u64).rev().collect()
+        };
+        for id in order {
+            kv.free(id).expect("freed exactly once");
+            kv.check_invariants().expect("pool invariant violated");
+        }
+        prop_assert!(kv.stats().conserved());
+    }
+
     /// End-to-end: decode serving over a random trace frees every page it
     /// allocates, under both policies, even when a tiny pool forces
     /// admission throttling and preemption.
@@ -175,6 +318,7 @@ proptest! {
         ] {
             let mut cfg = DecodeServeConfig::new(policy);
             cfg.model.layers = 1; // cost model depth is irrelevant here
+            cfg.verify_invariants = true;
             if tiny_pool == 1 {
                 // Just enough for one worst-case context plus headroom:
                 // forces the out-of-pages admission signal and preemption
@@ -189,5 +333,51 @@ proptest! {
             prop_assert!(report.real_tokens >= trace.total_tokens() - trace.len(),
                 "served fewer rows than the no-preemption floor");
         }
+    }
+
+    /// End-to-end with prefix caching: shared-prefix traces served with
+    /// the radix index keep every pool and tree invariant (checked every
+    /// iteration via `verify_invariants`) and drain leak-free, tiny pools
+    /// included.
+    #[test]
+    fn prefix_cached_decode_runs_leak_no_pages(
+        n in 1usize..20,
+        rate_centirps in 1000u64..40_000,
+        mean_out in 2u64..32,
+        tiny_pool in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let spec = SharedPrefixSpec {
+            vocab: 256,
+            num_system_prompts: 3,
+            system_tokens: 48,
+            num_templates: 4,
+            template_tokens: 24,
+            unique_min: 4,
+            unique_max: 24,
+            zipf_exponent: 1.0,
+        };
+        let arrivals = ArrivalTrace::bursty(
+            &DatasetSpec::mnli(), n, rate_centirps as f64 / 100.0, 0.2, 0.3, seed);
+        let trace = spec.decode_trace(
+            &DecodeSpec::geometric(mean_out as f64, 1, 48), arrivals.arrival_s, seed);
+        let mut cfg = DecodeServeConfig::new(
+            DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
+        cfg.model.layers = 1;
+        cfg.prefix_caching = true;
+        cfg.verify_invariants = true;
+        if tiny_pool == 1 {
+            // One worst-case context plus headroom: index eviction must
+            // contend with decode allocation.
+            cfg.kv_pages = Some(2 * (128usize + 48).div_ceil(cfg.page_size) + 2);
+        }
+        let report = simulate_decode_trace(&cfg, &trace);
+        prop_assert_eq!(report.requests, trace.len());
+        prop_assert!(report.kv.conserved(),
+            "prefix-cached run leaked pages: {:?}", report.kv);
+        prop_assert_eq!(report.prefix_hits + report.prefix_misses, trace.len());
+        let ix = report.prefix.expect("index stats attached");
+        prop_assert_eq!(ix.inserted_pages, ix.evicted_pages + ix.pages_held as u64);
+        prop_assert!(report.kv_peak_occupancy <= 1.0 + 1e-9);
     }
 }

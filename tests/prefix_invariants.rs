@@ -1,0 +1,157 @@
+//! Property-based tests for the radix prompt-prefix index: matches always
+//! agree with a naive page-granular mirror model, insert adopts exactly
+//! the pages that extend the tree, eviction never leaves a stale page
+//! behind, and the structural invariants hold after every operation.
+
+use pit::prefix::RadixPrefixIndex;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Deterministic op-stream driver. The mirror model maps every
+/// *page-aligned prefix* (as a token vector) to the page id the index
+/// holds for it; because the tree dedups on insert and evicts only leaf
+/// chains, that mapping is exact and prefix-closed at all times.
+fn drive_radix(page_size: usize, streams: u64, ops: usize, seed: u64) {
+    let mut ix = RadixPrefixIndex::new(page_size);
+    let mut mirror: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut live: HashSet<u32> = HashSet::new();
+    let mut next_page: u32 = 0;
+    let mut h = seed | 1;
+    let mut next = || {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        h.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+
+    // Keys are prefixes of a few deterministic base streams, so distinct
+    // keys share long prefixes — the shape radix trees exist for.
+    let key = |stream: u64, pages: usize, ps: usize| -> Vec<u32> {
+        (0..pages * ps)
+            .map(|i| {
+                let mut x = stream
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((i / ps) as u64)
+                    | 1;
+                x ^= x << 13;
+                x ^= x >> 7;
+                (x as u32) ^ ((i % ps) as u32)
+            })
+            .collect()
+    };
+
+    // The longest stored prefix of `tokens`, page by page, per the mirror.
+    let expected_match = |mirror: &HashMap<Vec<u32>, u32>, tokens: &[u32], ps: usize| {
+        let mut pages = Vec::new();
+        for i in 1..=tokens.len() / ps {
+            match mirror.get(&tokens[..i * ps]) {
+                Some(&p) => pages.push(p),
+                None => break,
+            }
+        }
+        pages
+    };
+
+    for _ in 0..ops {
+        let r = next();
+        let stream = (r >> 8) % streams;
+        let pages = (r >> 32) as usize % 6;
+        let tokens = key(stream, pages, page_size);
+        match r % 3 {
+            0 => {
+                // Insert: supply the mirror's page for known prefixes and a
+                // fresh id for new ones — exactly what a request that
+                // matched the known part and prefilled the rest would
+                // publish.
+                let supplied: Vec<u32> = (1..=pages)
+                    .map(|i| {
+                        mirror
+                            .get(&tokens[..i * page_size])
+                            .copied()
+                            .unwrap_or_else(|| {
+                                next_page += 1;
+                                next_page
+                            })
+                    })
+                    .collect();
+                let adopted = ix.insert(&tokens, &supplied);
+                let fresh: Vec<u32> = supplied
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !mirror.contains_key(&tokens[..(i + 1) * page_size]))
+                    .map(|(_, &p)| p)
+                    .collect();
+                assert_eq!(adopted, fresh, "adopts exactly the tree-extending pages");
+                for (i, &p) in supplied.iter().enumerate() {
+                    mirror
+                        .entry(tokens[..(i + 1) * page_size].to_vec())
+                        .or_insert(p);
+                    live.insert(p);
+                }
+            }
+            1 => {
+                // Match: must equal the mirror's longest stored prefix and
+                // never surface an evicted (stale) page.
+                let m = ix.match_prefix(&tokens);
+                assert_eq!(m.pages, expected_match(&mirror, &tokens, page_size));
+                assert_eq!(m.tokens, m.pages.len() * page_size);
+                for p in &m.pages {
+                    assert!(live.contains(p), "match returned stale page {p}");
+                }
+            }
+            _ => {
+                // Evict: released pages must be live, unique, and leave
+                // the mirror prefix-closed (leaf eviction only).
+                let want = (r >> 16) as usize % 4 + 1;
+                let evicted = ix.evict_lru(want);
+                let mut unique = HashSet::new();
+                for p in &evicted {
+                    assert!(live.remove(p), "evicted unknown or stale page {p}");
+                    assert!(unique.insert(*p), "page {p} evicted twice");
+                }
+                mirror.retain(|_, p| live.contains(p));
+                for prefix in mirror.keys() {
+                    for i in 1..prefix.len() / page_size {
+                        assert!(
+                            mirror.contains_key(&prefix[..i * page_size]),
+                            "leaf eviction broke prefix closure"
+                        );
+                    }
+                }
+            }
+        }
+        ix.check_invariants().expect("radix invariant violated");
+        assert_eq!(
+            ix.pages_held(),
+            mirror.len(),
+            "tree and mirror agree on size"
+        );
+    }
+
+    // Drain returns exactly the live set, once each.
+    let mut drained = ix.drain_all();
+    drained.sort_unstable();
+    let mut expected: Vec<u32> = live.into_iter().collect();
+    expected.sort_unstable();
+    assert_eq!(drained, expected);
+    assert!(ix.is_empty());
+    ix.check_invariants()
+        .expect("radix invariant violated after drain");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random insert/match/evict streams keep the radix index exactly in
+    /// step with a naive longest-prefix mirror: no stale pages, no lost
+    /// prefixes, page-granular matches only.
+    #[test]
+    fn radix_index_agrees_with_mirror_model(
+        page_size in 1usize..8,
+        streams in 1u64..6,
+        ops in 1usize..300,
+        seed in 0u64..10_000,
+    ) {
+        drive_radix(page_size, streams, ops, seed);
+    }
+}
