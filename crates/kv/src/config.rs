@@ -13,6 +13,10 @@ pub struct KvConfig {
     /// Bytes one logical page occupies on the device (0 when the pool was
     /// sized in pages directly rather than from a memory budget).
     pub page_bytes: usize,
+    /// Pages in the *host* staging tier (0 = no swap-to-host: every page
+    /// is device-resident for its whole life). Host pages hold swapped-out
+    /// KV across the PCIe link; they never serve decode reads directly.
+    pub host_pages: usize,
 }
 
 impl KvConfig {
@@ -22,7 +26,21 @@ impl KvConfig {
             page_size: page_size.max(1),
             num_pages,
             page_bytes: 0,
+            host_pages: 0,
         }
+    }
+
+    /// Same geometry with a host staging tier of `host_pages` pages.
+    pub fn with_host_pages(mut self, host_pages: usize) -> Self {
+        self.host_pages = host_pages;
+        self
+    }
+
+    /// Same geometry with an explicit per-page byte cost (for pools sized
+    /// in pages whose transfer costs still need a wire weight).
+    pub fn with_page_bytes(mut self, page_bytes: usize) -> Self {
+        self.page_bytes = page_bytes;
+        self
     }
 
     /// Sizes a pool from a device-memory budget: one logical page stores
@@ -42,7 +60,15 @@ impl KvConfig {
             page_size,
             num_pages: budget_bytes / page_bytes,
             page_bytes,
+            host_pages: 0,
         }
+    }
+
+    /// Total page ids the pool hands out: one per device frame plus one
+    /// per host frame (a swapped page keeps its id while its device frame
+    /// is reused, so identities and frames must be disjoint resources).
+    pub fn total_ids(&self) -> usize {
+        self.num_pages + self.host_pages
     }
 
     /// Pages needed to hold `tokens` token slots.
@@ -73,6 +99,19 @@ mod tests {
         assert_eq!(cfg.pages_for(16), 1);
         assert_eq!(cfg.pages_for(17), 2);
         assert_eq!(cfg.token_capacity(), 1600);
+    }
+
+    #[test]
+    fn host_tier_extends_the_id_space() {
+        let cfg = KvConfig::new(16, 100);
+        assert_eq!(cfg.host_pages, 0);
+        assert_eq!(cfg.total_ids(), 100);
+        let tiered = cfg.with_host_pages(40).with_page_bytes(1 << 20);
+        assert_eq!(tiered.host_pages, 40);
+        assert_eq!(tiered.total_ids(), 140);
+        assert_eq!(tiered.page_bytes, 1 << 20);
+        // Token capacity stays a device-tier notion.
+        assert_eq!(tiered.token_capacity(), 1600);
     }
 
     #[test]

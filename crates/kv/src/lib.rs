@@ -28,11 +28,21 @@
 //! copy first (copy-on-write). A page returns to the free list only when
 //! its last reference drops.
 //!
+//! Pools may also carry a *host tier* (`KvConfig::host_pages`):
+//! swap-to-host preemption moves a victim's exclusively-held pages across
+//! the PCIe link (`swap_out`) instead of discarding them, and `swap_in`
+//! restores them on re-admission. A swapped page keeps its id, refcount
+//! and written slots — only its `PageLocation` flips — and
+//! `check_invariants` extends to tier residency (every live page in
+//! exactly one tier, neither tier over capacity) and written-slot
+//! conservation across transfers.
+//!
 //! The crate is dependency-free; `pit_serve` wires it into the decode
-//! scheduler's admission and preemption decisions.
+//! scheduler's admission and preemption decisions, and `pit_swap` prices
+//! the transfers.
 
 pub mod config;
 pub mod pager;
 
 pub use config::KvConfig;
-pub use pager::{KvError, KvStats, PageId, PagedKvCache, SeqId};
+pub use pager::{KvError, KvStats, PageId, PageLocation, PagedKvCache, SeqId};

@@ -10,6 +10,18 @@
 //! when its last reference drops; a sequence that grows into a partially
 //! written *shared* page first gets a private copy (copy-on-write), so
 //! sharers never observe each other's writes.
+//!
+//! Pools may carry a *host tier* ([`KvConfig::host_pages`]): swap-to-host
+//! preemption moves a victim's exclusively-held pages across the PCIe
+//! link instead of discarding them. A swapped page keeps its id, refcount
+//! and written slots — only its [`PageLocation`] flips — while its device
+//! frame becomes reusable, so the id space is `num_pages + host_pages`
+//! wide and the tier counters (`device ≤ num_pages`, `host ≤ host_pages`)
+//! carry the capacity constraints. Host-resident pages are storage, not
+//! cache: a sequence holding one cannot extend ([`KvError::SwappedOut`]),
+//! cannot donate it to a shared admission, and cannot have it pinned —
+//! [`PagedKvCache::swap_in`] brings everything back before the sequence
+//! decodes again.
 
 use crate::config::KvConfig;
 use std::collections::HashMap;
@@ -41,6 +53,20 @@ pub enum KvError {
     /// that is not live (or, for release, not externally retained), or the
     /// shared page list does not cover the claimed prefix tokens.
     InvalidShare,
+    /// Not enough free host-tier frames for a `swap_out`.
+    OutOfHostPages {
+        /// Host frames the swap needed.
+        needed: usize,
+        /// Host frames currently free.
+        free: usize,
+    },
+    /// `swap_out` referenced a page the sequence does not exclusively
+    /// hold on the device tier (shared, pinned, already swapped, free, or
+    /// simply not in its page table), or listed a page twice.
+    InvalidSwap,
+    /// `extend` on a sequence holding host-resident pages — swapped-out
+    /// KV cannot be written until `swap_in` restores it.
+    SwappedOut(SeqId),
 }
 
 impl fmt::Display for KvError {
@@ -52,8 +78,24 @@ impl fmt::Display for KvError {
             KvError::AlreadyAllocated(s) => write!(f, "sequence {s} already allocated"),
             KvError::UnknownSeq(s) => write!(f, "sequence {s} holds no pages"),
             KvError::InvalidShare => write!(f, "shared pages are not live or do not cover prefix"),
+            KvError::OutOfHostPages { needed, free } => {
+                write!(f, "out of host pages: need {needed}, only {free} free")
+            }
+            KvError::InvalidSwap => {
+                write!(f, "swap pages must be exclusively held and device-resident")
+            }
+            KvError::SwappedOut(s) => write!(f, "sequence {s} holds host-resident pages"),
         }
     }
+}
+
+/// Which memory tier a page currently occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageLocation {
+    /// On the GPU: readable by decode, writable by prefill/extend.
+    Device,
+    /// In the host staging pool: preserved but inert until swapped back.
+    Host,
 }
 
 /// Pages one live sequence holds.
@@ -97,39 +139,57 @@ pub struct PagedKvCache {
     /// Written token slots per page — physical, counted once no matter how
     /// many sequences share the page.
     written: Vec<u32>,
+    /// Tier each page currently occupies (free pages read `Device`).
+    location: Vec<PageLocation>,
     live_pages: usize,
+    /// Live pages resident on the device tier (`<= cfg.num_pages`).
+    device_live: usize,
+    /// Live pages resident on the host tier (`<= cfg.host_pages`).
+    host_live: usize,
     used_tokens: usize,
     reserved_tokens: usize,
     // Conservation + observability counters.
     allocated_total: u64,
     freed_total: u64,
     peak_live_pages: usize,
+    peak_host_live: usize,
     alloc_failures: u64,
     preemptions: u64,
     cow_copies: u64,
     shared_admits: u64,
+    swapped_out_total: u64,
+    swapped_in_total: u64,
 }
 
 impl PagedKvCache {
-    /// An empty pool with every page free.
+    /// An empty pool with every page free. With a host tier configured,
+    /// page *ids* outnumber device frames by `host_pages` — ids are
+    /// identities, frames are capacity, and swap is what separates them.
     pub fn new(cfg: KvConfig) -> Self {
+        let ids = cfg.total_ids();
         PagedKvCache {
             cfg,
-            free: (0..cfg.num_pages as PageId).rev().collect(),
+            free: (0..ids as PageId).rev().collect(),
             seqs: HashMap::new(),
-            refs: vec![0; cfg.num_pages],
-            ext_refs: vec![0; cfg.num_pages],
-            written: vec![0; cfg.num_pages],
+            refs: vec![0; ids],
+            ext_refs: vec![0; ids],
+            written: vec![0; ids],
+            location: vec![PageLocation::Device; ids],
             live_pages: 0,
+            device_live: 0,
+            host_live: 0,
             used_tokens: 0,
             reserved_tokens: 0,
             allocated_total: 0,
             freed_total: 0,
             peak_live_pages: 0,
+            peak_host_live: 0,
             alloc_failures: 0,
             preemptions: 0,
             cow_copies: 0,
             shared_admits: 0,
+            swapped_out_total: 0,
+            swapped_in_total: 0,
         }
     }
 
@@ -141,26 +201,43 @@ impl PagedKvCache {
     /// Whether `tokens` more slots could be allocated right now — the
     /// scheduler's admission signal.
     pub fn can_admit(&self, tokens: usize) -> bool {
-        self.cfg.pages_for(tokens) <= self.free.len()
+        self.cfg.pages_for(tokens) <= self.device_free()
     }
 
-    /// Pops one free page and gives it its first reference.
+    /// Free *device* frames — the capacity new allocations draw on. Free
+    /// ids always cover this (ids = device frames + host frames), so a
+    /// free frame guarantees a poppable id.
+    fn device_free(&self) -> usize {
+        self.cfg.num_pages - self.device_live
+    }
+
+    /// Pops one free page onto the device tier and gives it its first
+    /// reference.
     fn take_page(&mut self) -> PageId {
-        let p = self.free.pop().expect("caller checked the free count");
+        debug_assert!(self.device_free() > 0, "caller checked the frame count");
+        let p = self.free.pop().expect("free ids cover free device frames");
         self.refs[p as usize] = 1;
+        self.location[p as usize] = PageLocation::Device;
         self.live_pages += 1;
+        self.device_live += 1;
         self.allocated_total += 1;
         p
     }
 
     /// Drops one reference to `p`; at zero the page returns to the free
-    /// list. Returns whether the page was physically freed.
+    /// list (from whichever tier held it). Returns whether the page was
+    /// physically freed.
     fn drop_ref(&mut self, p: PageId) -> bool {
         let i = p as usize;
         self.refs[i] -= 1;
         if self.refs[i] == 0 {
             self.used_tokens -= self.written[i] as usize;
             self.written[i] = 0;
+            match self.location[i] {
+                PageLocation::Device => self.device_live -= 1,
+                PageLocation::Host => self.host_live -= 1,
+            }
+            self.location[i] = PageLocation::Device;
             self.free.push(p);
             self.live_pages -= 1;
             self.freed_total += 1;
@@ -213,11 +290,11 @@ impl PagedKvCache {
             return Err(KvError::AlreadyAllocated(seq));
         }
         let needed = self.cfg.pages_for(reserved_tokens);
-        if needed > self.free.len() {
+        if needed > self.device_free() {
             self.alloc_failures += 1;
             return Err(KvError::OutOfPages {
                 needed,
-                free: self.free.len(),
+                free: self.device_free(),
             });
         }
         let pages: Vec<PageId> = (0..needed).map(|_| self.take_page()).collect();
@@ -262,8 +339,9 @@ impl PagedKvCache {
         if prefix_tokens == 0
             || self.cfg.pages_for(prefix_tokens) != shared.len()
             || shared.iter().enumerate().any(|(i, &p)| {
-                (p as usize) >= self.cfg.num_pages
+                (p as usize) >= self.cfg.total_ids()
                     || self.refs[p as usize] == 0
+                    || self.location[p as usize] != PageLocation::Device
                     || (self.written[p as usize] as usize) < (prefix_tokens - i * ps).min(ps)
             })
         {
@@ -287,12 +365,15 @@ impl PagedKvCache {
     }
 
     /// Pins `pages` with one external reference each (the prefix index
-    /// adopting published prompt pages). Every page must be live.
+    /// adopting published prompt pages). Every page must be live and
+    /// device-resident — the index only ever adopts pages whose KV a
+    /// later admission could read.
     pub fn retain_pages(&mut self, pages: &[PageId]) -> Result<(), KvError> {
-        if pages
-            .iter()
-            .any(|&p| (p as usize) >= self.cfg.num_pages || self.refs[p as usize] == 0)
-        {
+        if pages.iter().any(|&p| {
+            (p as usize) >= self.cfg.total_ids()
+                || self.refs[p as usize] == 0
+                || self.location[p as usize] != PageLocation::Device
+        }) {
             return Err(KvError::InvalidShare);
         }
         for &p in pages {
@@ -309,7 +390,7 @@ impl PagedKvCache {
     pub fn release_pages(&mut self, pages: &[PageId]) -> Result<usize, KvError> {
         let mut need: HashMap<PageId, u32> = HashMap::new();
         for &p in pages {
-            if (p as usize) >= self.cfg.num_pages {
+            if (p as usize) >= self.cfg.total_ids() {
                 return Err(KvError::InvalidShare);
             }
             *need.entry(p).or_insert(0) += 1;
@@ -333,10 +414,17 @@ impl PagedKvCache {
     /// `page_size` steps; a copy-on-write of a shared boundary page counts
     /// as one taken page). Fails atomically on page exhaustion.
     pub fn extend(&mut self, seq: SeqId, new_tokens: usize) -> Result<usize, KvError> {
-        let free_len = self.free.len();
+        let free_len = self.device_free();
         let ps = self.cfg.page_size;
         let (used, reserved, held, shared_boundary) = {
             let s = self.seqs.get(&seq).ok_or(KvError::UnknownSeq(seq))?;
+            if s.pages
+                .iter()
+                .any(|&p| self.location[p as usize] == PageLocation::Host)
+            {
+                // Swapped-out KV is storage, not cache: restore first.
+                return Err(KvError::SwappedOut(seq));
+            }
             let boundary = if s.used_tokens % ps != 0 {
                 let bi = s.used_tokens / ps;
                 let bp = s.pages[bi];
@@ -388,6 +476,84 @@ impl PagedKvCache {
         Ok(extra + cow)
     }
 
+    /// Moves `pages` — each exclusively held by `seq` and device-resident
+    /// — to the host tier, preserving ids, refcounts and written slots
+    /// while releasing their device frames. Fails atomically: either
+    /// every page moves or none does ([`KvError::InvalidSwap`] for an
+    /// illegal page list, [`KvError::OutOfHostPages`] when the staging
+    /// pool is full).
+    ///
+    /// Exclusivity (`refs == 1`) is required because a shared or
+    /// prefix-pinned page's other holders still read it every iteration;
+    /// the swap planner (`pit_swap::plan_swap_out`) never offers those.
+    pub fn swap_out(&mut self, seq: SeqId, pages: &[PageId]) -> Result<(), KvError> {
+        let s = self.seqs.get(&seq).ok_or(KvError::UnknownSeq(seq))?;
+        // One pass marks the sequence's pages, a second consumes the
+        // marks — O(seq pages + plan), with duplicate and foreign pages
+        // both caught by the consumed mark.
+        let mut held = vec![false; self.cfg.total_ids()];
+        for &p in &s.pages {
+            held[p as usize] = true;
+        }
+        for &p in pages {
+            let i = p as usize;
+            if i >= self.cfg.total_ids()
+                || !held[i]
+                || self.refs[i] != 1
+                || self.location[i] != PageLocation::Device
+            {
+                return Err(KvError::InvalidSwap);
+            }
+            held[i] = false;
+        }
+        let free_host = self.cfg.host_pages - self.host_live;
+        if pages.len() > free_host {
+            return Err(KvError::OutOfHostPages {
+                needed: pages.len(),
+                free: free_host,
+            });
+        }
+        for &p in pages {
+            self.location[p as usize] = PageLocation::Host;
+        }
+        self.device_live -= pages.len();
+        self.host_live += pages.len();
+        self.peak_host_live = self.peak_host_live.max(self.host_live);
+        self.swapped_out_total += pages.len() as u64;
+        Ok(())
+    }
+
+    /// Moves every host-resident page of `seq` back to the device tier,
+    /// making the sequence decodable again. Returns the pages moved (0
+    /// when the sequence was fully resident). Fails atomically with
+    /// [`KvError::OutOfPages`] when the device tier lacks the frames.
+    pub fn swap_in(&mut self, seq: SeqId) -> Result<usize, KvError> {
+        let s = self.seqs.get(&seq).ok_or(KvError::UnknownSeq(seq))?;
+        let host: Vec<PageId> = s
+            .pages
+            .iter()
+            .copied()
+            .filter(|&p| self.location[p as usize] == PageLocation::Host)
+            .collect();
+        if host.is_empty() {
+            return Ok(0);
+        }
+        if host.len() > self.device_free() {
+            self.alloc_failures += 1;
+            return Err(KvError::OutOfPages {
+                needed: host.len(),
+                free: self.device_free(),
+            });
+        }
+        for &p in &host {
+            self.location[p as usize] = PageLocation::Device;
+        }
+        self.host_live -= host.len();
+        self.device_live += host.len();
+        self.swapped_in_total += host.len() as u64;
+        Ok(host.len())
+    }
+
     /// Drops this sequence's reference to every page it holds (request
     /// completed); pages return to the free list only at refcount zero.
     /// Returns the pages physically freed; a second `free` of the same
@@ -429,6 +595,54 @@ impl PagedKvCache {
         self.refs[page as usize]
     }
 
+    /// External (index-pin) references to `page`.
+    pub fn page_ext_refs(&self, page: PageId) -> u32 {
+        self.ext_refs[page as usize]
+    }
+
+    /// Tier `page` currently occupies (free pages read `Device`).
+    pub fn page_location(&self, page: PageId) -> PageLocation {
+        self.location[page as usize]
+    }
+
+    /// Host-resident pages a live sequence holds (0 = fully resident).
+    pub fn seq_host_pages(&self, seq: SeqId) -> usize {
+        self.seqs.get(&seq).map_or(0, |s| {
+            s.pages
+                .iter()
+                .filter(|&&p| self.location[p as usize] == PageLocation::Host)
+                .count()
+        })
+    }
+
+    /// Whether every page of a live sequence is device-resident — the
+    /// precondition for it to appear in a decode step.
+    pub fn seq_resident(&self, seq: SeqId) -> Option<bool> {
+        self.seqs.get(&seq).map(|s| {
+            s.pages
+                .iter()
+                .all(|&p| self.location[p as usize] == PageLocation::Device)
+        })
+    }
+
+    /// Live pages resident on the host tier.
+    pub fn host_live_pages(&self) -> usize {
+        self.host_live
+    }
+
+    /// Free host-tier frames.
+    pub fn host_free_pages(&self) -> usize {
+        self.cfg.host_pages - self.host_live
+    }
+
+    /// Fraction of the host tier's frames in use (0 when no host tier).
+    pub fn host_occupancy(&self) -> f64 {
+        if self.cfg.host_pages == 0 {
+            return 0.0;
+        }
+        self.host_live as f64 / self.cfg.host_pages as f64
+    }
+
     /// Written token slots of `page`.
     pub fn page_written(&self, page: PageId) -> usize {
         self.written[page as usize] as usize
@@ -444,9 +658,11 @@ impl PagedKvCache {
         self.live_pages
     }
 
-    /// Pages currently free.
+    /// Device frames currently free — what admission and growth draw on.
+    /// (With a host tier, free page *ids* exceed this by the free host
+    /// frames; ids are identities, frames are capacity.)
     pub fn free_pages(&self) -> usize {
-        self.free.len()
+        self.device_free()
     }
 
     /// Token slots physically written across live pages (shared slots
@@ -460,12 +676,12 @@ impl PagedKvCache {
         self.refs.iter().filter(|&&r| r > 1).count()
     }
 
-    /// Fraction of the pool's pages currently allocated (0..=1).
+    /// Fraction of the *device* tier's frames currently allocated (0..=1).
     pub fn occupancy(&self) -> f64 {
         if self.cfg.num_pages == 0 {
             return 0.0;
         }
-        self.live_pages as f64 / self.cfg.num_pages as f64
+        self.device_live as f64 / self.cfg.num_pages as f64
     }
 
     /// Fraction of allocated token slots not holding a written token —
@@ -486,7 +702,12 @@ impl PagedKvCache {
             page_size: self.cfg.page_size,
             capacity_pages: self.cfg.num_pages,
             live_pages: self.live_pages,
-            free_pages: self.free.len(),
+            free_pages: self.device_free(),
+            host_capacity_pages: self.cfg.host_pages,
+            host_live_pages: self.host_live,
+            peak_host_live_pages: self.peak_host_live,
+            swapped_out_pages: self.swapped_out_total,
+            swapped_in_pages: self.swapped_in_total,
             used_tokens: self.used_tokens,
             occupancy: self.occupancy(),
             fragmentation: self.fragmentation(),
@@ -505,12 +726,69 @@ impl PagedKvCache {
     /// the first violation. The proptest suite calls this after every
     /// operation.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if self.free.len() + self.live_pages != self.cfg.num_pages {
+        if self.free.len() + self.live_pages != self.cfg.total_ids() {
             return Err(format!(
-                "page leak: {} free + {} live != {} capacity",
+                "page leak: {} free + {} live != {} ids",
                 self.free.len(),
                 self.live_pages,
-                self.cfg.num_pages
+                self.cfg.total_ids()
+            ));
+        }
+        // Tier residency: every live page sits in exactly one tier, the
+        // tier counters agree with the per-page locations, and neither
+        // tier exceeds its frame capacity.
+        if self.device_live + self.host_live != self.live_pages {
+            return Err(format!(
+                "tier split: {} device + {} host != {} live",
+                self.device_live, self.host_live, self.live_pages
+            ));
+        }
+        if self.device_live > self.cfg.num_pages {
+            return Err(format!(
+                "device tier over capacity: {} live frames of {}",
+                self.device_live, self.cfg.num_pages
+            ));
+        }
+        if self.host_live > self.cfg.host_pages {
+            return Err(format!(
+                "host tier over capacity: {} live frames of {}",
+                self.host_live, self.cfg.host_pages
+            ));
+        }
+        let mut device_seen = 0usize;
+        let mut host_seen = 0usize;
+        for (i, &loc) in self.location.iter().enumerate() {
+            match (self.refs[i] > 0, loc) {
+                (true, PageLocation::Device) => device_seen += 1,
+                (true, PageLocation::Host) => {
+                    host_seen += 1;
+                    // A host page is frozen storage: exclusively held
+                    // (swap required refs == 1 and nothing can share or
+                    // pin it while swapped) and never index-pinned.
+                    if self.refs[i] != 1 || self.ext_refs[i] != 0 {
+                        return Err(format!(
+                            "host page {i} holds {} refs / {} pins (must be 1 / 0)",
+                            self.refs[i], self.ext_refs[i]
+                        ));
+                    }
+                }
+                (false, PageLocation::Device) => {}
+                (false, PageLocation::Host) => {
+                    return Err(format!("free page {i} marked host-resident"));
+                }
+            }
+        }
+        if device_seen != self.device_live || host_seen != self.host_live {
+            return Err(format!(
+                "tier counters drifted: counted {device_seen} device / {host_seen} host, \
+                 counters say {} / {}",
+                self.device_live, self.host_live
+            ));
+        }
+        if self.swapped_out_total < self.swapped_in_total {
+            return Err(format!(
+                "swapped in {} pages but only {} ever went out",
+                self.swapped_in_total, self.swapped_out_total
             ));
         }
         if self.allocated_total != self.freed_total + self.live_pages as u64 {
@@ -521,7 +799,7 @@ impl PagedKvCache {
         }
         // Reference counts must equal page-table occurrences plus external
         // retains, page for page.
-        let mut counted = vec![0u32; self.cfg.num_pages];
+        let mut counted = vec![0u32; self.cfg.total_ids()];
         for (id, s) in &self.seqs {
             if s.pages.len() != self.cfg.pages_for(s.reserved_tokens) {
                 return Err(format!(
@@ -535,7 +813,7 @@ impl PagedKvCache {
             }
             for &p in &s.pages {
                 let i = p as usize;
-                if i >= self.cfg.num_pages {
+                if i >= self.cfg.total_ids() {
                     return Err(format!("page id {i} out of range"));
                 }
                 counted[i] += 1;
@@ -553,10 +831,10 @@ impl PagedKvCache {
         }
         // The free list is exactly the zero-ref pages, each once, with no
         // written slots still counted.
-        let mut on_free = vec![false; self.cfg.num_pages];
+        let mut on_free = vec![false; self.cfg.total_ids()];
         for &p in &self.free {
             let i = p as usize;
-            if i >= self.cfg.num_pages {
+            if i >= self.cfg.total_ids() {
                 return Err(format!("free page id {i} out of range"));
             }
             if on_free[i] {
@@ -575,11 +853,19 @@ impl PagedKvCache {
                 return Err(format!("zero-ref page {i} not on the free list"));
             }
         }
-        // Written-slot conservation: the global counter is the page sum.
-        let written_sum: usize = self.written.iter().map(|&w| w as usize).sum();
-        if written_sum != self.used_tokens {
+        // Written-slot conservation across tiers: the global counter is
+        // the page sum, split per tier and summed — a transfer must move
+        // slots between the tier sums without creating or losing any.
+        let (mut device_written, mut host_written) = (0usize, 0usize);
+        for (i, &w) in self.written.iter().enumerate() {
+            match self.location[i] {
+                PageLocation::Device => device_written += w as usize,
+                PageLocation::Host => host_written += w as usize,
+            }
+        }
+        if device_written + host_written != self.used_tokens {
             return Err(format!(
-                "written slots: pages sum to {written_sum}, counter says {}",
+                "written slots: {device_written} device + {host_written} host != {} counted",
                 self.used_tokens
             ));
         }
@@ -604,13 +890,25 @@ pub struct KvStats {
     pub page_size: usize,
     /// Total pages in the pool.
     pub capacity_pages: usize,
-    /// Pages with at least one reference.
+    /// Pages with at least one reference (either tier).
     pub live_pages: usize,
-    /// Pages on the free list.
+    /// Free device frames.
     pub free_pages: usize,
+    /// Host staging-tier frame capacity (0 = no swap tier).
+    pub host_capacity_pages: usize,
+    /// Live pages currently resident on the host tier.
+    pub host_live_pages: usize,
+    /// High-water mark of host-resident pages.
+    pub peak_host_live_pages: usize,
+    /// Pages ever moved device → host.
+    pub swapped_out_pages: u64,
+    /// Pages ever moved host → device.
+    pub swapped_in_pages: u64,
     /// Physically written token slots (shared slots count once).
     pub used_tokens: usize,
-    /// `live_pages / capacity_pages`.
+    /// Device-tier occupancy: `(live_pages - host_live_pages) /
+    /// capacity_pages` (host-resident pages hold host frames, not device
+    /// ones).
     pub occupancy: f64,
     /// Allocated-but-unwritten slot fraction.
     pub fragmentation: f64,
@@ -658,7 +956,19 @@ impl fmt::Display for KvStats {
             self.alloc_failures,
             self.preemptions,
             self.cow_copies,
-        )
+        )?;
+        if self.host_capacity_pages > 0 {
+            write!(
+                f,
+                "; host tier {}/{} pages (peak {}), {} swapped out / {} restored",
+                self.host_live_pages,
+                self.host_capacity_pages,
+                self.peak_host_live_pages,
+                self.swapped_out_pages,
+                self.swapped_in_pages,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -892,6 +1202,152 @@ mod tests {
         kv.free(2).unwrap();
         assert!(kv.stats().conserved());
         kv.check_invariants().unwrap();
+    }
+
+    fn tiered(page_size: usize, pages: usize, host: usize) -> PagedKvCache {
+        PagedKvCache::new(KvConfig::new(page_size, pages).with_host_pages(host))
+    }
+
+    #[test]
+    fn swap_roundtrip_preserves_ids_refs_and_written_slots() {
+        let mut kv = tiered(16, 4, 4);
+        kv.alloc(1, 40).unwrap(); // 3 pages, last holds 8 slots
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        let used = kv.used_tokens();
+        assert_eq!(kv.free_pages(), 1);
+        kv.swap_out(1, &pages).unwrap();
+        // Device frames came back; ids, refcounts and slots survived.
+        assert_eq!(kv.free_pages(), 4);
+        assert_eq!(kv.host_live_pages(), 3);
+        assert_eq!(kv.live_pages(), 3);
+        assert_eq!(kv.seq_pages(1).unwrap(), pages.as_slice());
+        assert_eq!(kv.used_tokens(), used, "slots conserved across the move");
+        for &p in &pages {
+            assert_eq!(kv.page_refs(p), 1);
+            assert_eq!(kv.page_location(p), PageLocation::Host);
+        }
+        assert_eq!(kv.seq_resident(1), Some(false));
+        assert_eq!(kv.seq_host_pages(1), 3);
+        kv.check_invariants().unwrap();
+        // The freed frames are genuinely reusable while 1 is on host.
+        kv.alloc(2, 64).unwrap(); // all 4 device frames
+        assert!(!kv.can_admit(1));
+        assert_eq!(
+            kv.swap_in(1),
+            Err(KvError::OutOfPages { needed: 3, free: 0 })
+        );
+        kv.free(2).unwrap();
+        assert_eq!(kv.swap_in(1).unwrap(), 3);
+        assert_eq!(kv.seq_resident(1), Some(true));
+        assert_eq!(kv.host_live_pages(), 0);
+        let s = kv.stats();
+        assert_eq!(s.swapped_out_pages, 3);
+        assert_eq!(s.swapped_in_pages, 3);
+        assert_eq!(s.peak_host_live_pages, 3);
+        kv.check_invariants().unwrap();
+        // Decode can resume: extend works again after restore.
+        assert_eq!(kv.extend(1, 8).unwrap(), 0);
+        kv.free(1).unwrap();
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swapped_sequences_cannot_extend_share_or_pin() {
+        let mut kv = tiered(16, 4, 4);
+        kv.alloc(1, 32).unwrap();
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        kv.swap_out(1, &pages).unwrap();
+        assert_eq!(kv.extend(1, 1), Err(KvError::SwappedOut(1)));
+        assert_eq!(kv.alloc_shared(2, &pages, 32), Err(KvError::InvalidShare));
+        assert_eq!(kv.retain_pages(&pages), Err(KvError::InvalidShare));
+        kv.check_invariants().unwrap();
+        // Freeing a swapped sequence drains the host tier leak-free.
+        kv.free(1).unwrap();
+        assert_eq!(kv.host_live_pages(), 0);
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_rejects_shared_pinned_and_duplicate_pages_atomically() {
+        let mut kv = tiered(16, 8, 8);
+        kv.alloc(1, 32).unwrap();
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        // Shared with another sequence: not swappable.
+        kv.alloc_shared(2, &pages[..1], 16).unwrap();
+        assert_eq!(kv.swap_out(1, &pages), Err(KvError::InvalidSwap));
+        assert_eq!(kv.host_live_pages(), 0, "failure moved nothing");
+        kv.free(2).unwrap();
+        // Index-pinned: not swappable either.
+        kv.retain_pages(&pages[..1]).unwrap();
+        assert_eq!(kv.swap_out(1, &pages[..1]), Err(KvError::InvalidSwap));
+        kv.release_pages(&pages[..1]).unwrap();
+        // Duplicates and foreign pages are rejected.
+        assert_eq!(
+            kv.swap_out(1, &[pages[0], pages[0]]),
+            Err(KvError::InvalidSwap)
+        );
+        kv.alloc(3, 16).unwrap();
+        let foreign = kv.seq_pages(3).unwrap()[0];
+        assert_eq!(kv.swap_out(1, &[foreign]), Err(KvError::InvalidSwap));
+        assert_eq!(kv.swap_out(9, &pages), Err(KvError::UnknownSeq(9)));
+        // Now legal: both exclusive pages move; a second swap of the same
+        // pages fails (already host-resident).
+        kv.swap_out(1, &pages).unwrap();
+        assert_eq!(kv.swap_out(1, &pages), Err(KvError::InvalidSwap));
+        kv.check_invariants().unwrap();
+        kv.free(1).unwrap();
+        kv.free(3).unwrap();
+        assert!(kv.stats().conserved());
+    }
+
+    #[test]
+    fn host_tier_capacity_is_enforced_atomically() {
+        let mut kv = tiered(16, 4, 2);
+        kv.alloc(1, 64).unwrap(); // 4 pages
+        let pages: Vec<PageId> = kv.seq_pages(1).unwrap().to_vec();
+        assert_eq!(
+            kv.swap_out(1, &pages[..3]),
+            Err(KvError::OutOfHostPages { needed: 3, free: 2 })
+        );
+        assert_eq!(kv.host_live_pages(), 0, "failed swap moved nothing");
+        kv.swap_out(1, &pages[..2]).unwrap();
+        assert_eq!(kv.host_free_pages(), 0);
+        assert!((kv.host_occupancy() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            kv.swap_out(1, &pages[2..3]),
+            Err(KvError::OutOfHostPages { needed: 1, free: 0 })
+        );
+        kv.check_invariants().unwrap();
+        // A partially swapped sequence still cannot extend, and restore
+        // brings back exactly the host-resident pages.
+        assert_eq!(kv.extend(1, 1), Err(KvError::SwappedOut(1)));
+        assert_eq!(kv.swap_in(1).unwrap(), 2);
+        assert_eq!(kv.swap_in(1).unwrap(), 0, "second restore is a no-op");
+        kv.free(1).unwrap();
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_stats_render_and_zero_host_pools_reject_swaps() {
+        let mut kv = tiered(8, 4, 2);
+        kv.alloc(1, 8).unwrap();
+        let p = kv.seq_pages(1).unwrap().to_vec();
+        kv.swap_out(1, &p).unwrap();
+        let text = kv.stats().to_string();
+        assert!(text.contains("host tier"));
+        assert!(text.contains("swapped out"));
+        // A pool without a host tier never accepts a swap.
+        let mut flat = pool(8, 4);
+        flat.alloc(1, 8).unwrap();
+        let fp = flat.seq_pages(1).unwrap().to_vec();
+        assert_eq!(
+            flat.swap_out(1, &fp),
+            Err(KvError::OutOfHostPages { needed: 1, free: 0 })
+        );
+        assert!(!flat.stats().to_string().contains("host tier"));
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //!   padding-free GEMM);
 //! - a **KV-page budget** — admission is gated on `pit_kv`'s free-page
 //!   signal, and when decode growth outruns the pool the latest-arrived
-//!   request is preempted (pages freed, progress recomputed on
-//!   re-admission — vLLM-style recompute preemption).
+//!   request is preempted. What preemption costs is [`PreemptPolicy`]'s
+//!   call: **recompute** (pages freed, progress re-prefilled on
+//!   re-admission — vLLM-style) or **swap-to-host** (exclusively-held
+//!   pages cross the PCIe link into the pool's host tier and stream back
+//!   on re-admission — `pit_swap` prices the transfers, eviction gates
+//!   the reclaiming step, restores overlap later batches).
 //!
 //! The baseline is **static padded batching**: requests are batched once,
 //! prompts padded to the batch maximum, KV reserved contiguously for the
@@ -35,6 +39,7 @@ use pit_kv::{KvConfig, PagedKvCache};
 use pit_models::decode::{run_step, StepShape};
 use pit_models::{Engine, Framework, ModelConfig};
 use pit_prefix::RadixPrefixIndex;
+use pit_swap::{plan_swap_out, PageDesc, RestoreQueue, SwapEngine};
 use pit_tensor::DType;
 use pit_workloads::DecodeTrace;
 use std::collections::VecDeque;
@@ -74,6 +79,33 @@ impl DecodePolicy {
         match self {
             DecodePolicy::ContinuousPaddingFree { .. } => Framework::Pit,
             DecodePolicy::StaticPadded { .. } => Framework::PyTorch,
+        }
+    }
+}
+
+/// What happens to a preemption victim's KV pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptPolicy {
+    /// vLLM-style recompute: free the victim's pages; re-admission
+    /// re-prefills its whole context from scratch. Costs prefill FLOPs,
+    /// needs no host memory or PCIe bandwidth.
+    Recompute,
+    /// Swap to host: move the victim's exclusively-held pages across the
+    /// PCIe link into a host staging pool (`pit_swap`) and stream them
+    /// back on re-admission — the context is preserved, so nothing is
+    /// re-prefilled. Costs transfer time (eviction gates the step that
+    /// reclaims the frames; restores overlap later batches) and host
+    /// pool space; falls back to recompute per victim when the host pool
+    /// is full or the victim holds nothing swappable.
+    SwapToHost,
+}
+
+impl PreemptPolicy {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreemptPolicy::Recompute => "recompute",
+            PreemptPolicy::SwapToHost => "swap-to-host",
         }
     }
 }
@@ -118,9 +150,19 @@ pub struct DecodeServeConfig {
     /// evicted when decode allocation needs the pages. Requires the trace
     /// to carry `prompt_ids`.
     pub prefix_caching: bool,
+    /// Preemption policy of the continuous runtime: recompute victims'
+    /// KV (PR 3) or swap it to a host staging pool over PCIe.
+    pub preempt: PreemptPolicy,
+    /// Host staging-pool size in pages under
+    /// [`PreemptPolicy::SwapToHost`]; `None` grants twice the device
+    /// pool (host DRAM is the ample tier — the bound exists so the
+    /// staging pool is accounted, not open-ended). Ignored under
+    /// recompute.
+    pub host_pages: Option<usize>,
     /// Run `PagedKvCache::check_invariants` (and the prefix index's
     /// structural check) after every iteration — the acceptance-test
-    /// mode; costs O(pages) per step.
+    /// mode; costs O(pages) per step. Under swap preemption it also
+    /// asserts no decode slot reads a host-resident page.
     pub verify_invariants: bool,
 }
 
@@ -144,14 +186,25 @@ impl DecodeServeConfig {
             prefill_chunk: 64,
             max_live: 64,
             prefix_caching: false,
+            preempt: PreemptPolicy::Recompute,
+            host_pages: None,
             verify_invariants: false,
         }
     }
 
-    /// The KV pool geometry this configuration implies.
+    /// The KV pool geometry this configuration implies. Pools sized in
+    /// pages still carry the model's per-page byte weight (the swap cost
+    /// model needs it on the wire); under swap preemption the pool gains
+    /// its host staging tier.
     pub fn kv_config(&self) -> KvConfig {
-        match self.kv_pages {
-            Some(pages) => KvConfig::new(self.page_size, pages),
+        let base = match self.kv_pages {
+            Some(pages) => KvConfig::new(self.page_size, pages).with_page_bytes(
+                self.page_size
+                    * self.model.layers
+                    * 2
+                    * self.model.hidden
+                    * self.dtype.size_bytes(),
+            ),
             None => KvConfig::for_budget(
                 (self.device.global_mem_bytes as f64 * self.kv_mem_fraction) as usize,
                 self.page_size,
@@ -159,7 +212,12 @@ impl DecodeServeConfig {
                 self.model.hidden,
                 self.dtype.size_bytes(),
             ),
-        }
+        };
+        let host = match self.preempt {
+            PreemptPolicy::Recompute => 0,
+            PreemptPolicy::SwapToHost => self.host_pages.unwrap_or(2 * base.num_pages),
+        };
+        base.with_host_pages(host)
     }
 }
 
@@ -256,6 +314,7 @@ pub fn simulate_decode_trace(cfg: &DecodeServeConfig, trace: &DecodeTrace) -> De
         })
         .collect();
 
+    let swap = matches!(cfg.preempt, PreemptPolicy::SwapToHost);
     let mut name = cfg.policy.name();
     match cfg.policy {
         DecodePolicy::ContinuousPaddingFree { token_budget } => {
@@ -266,8 +325,13 @@ pub fn simulate_decode_trace(cfg: &DecodeServeConfig, trace: &DecodeTrace) -> De
                     "prefix caching needs prompt token ids on every request \
                      (build the trace with SharedPrefixSpec::decode_trace)"
                 );
-                name = "continuous-prefix-cached";
             }
+            name = match (cfg.prefix_caching, swap) {
+                (false, false) => name,
+                (true, false) => "continuous-prefix-cached",
+                (false, true) => "continuous-swap-to-host",
+                (true, true) => "continuous-prefix-cached-swap",
+            };
             run_continuous(
                 cfg,
                 token_budget,
@@ -282,6 +346,11 @@ pub fn simulate_decode_trace(cfg: &DecodeServeConfig, trace: &DecodeTrace) -> De
             assert!(
                 !cfg.prefix_caching,
                 "prefix caching applies to the continuous policy only"
+            );
+            assert!(
+                !swap,
+                "swap-to-host preemption applies to the continuous policy only \
+                 (the static rectangle never preempts)"
             );
             run_static(cfg, max_batch, &mut waiting, &mut kv, &cache, &mut metrics);
         }
@@ -299,13 +368,21 @@ pub fn simulate_decode_trace(cfg: &DecodeServeConfig, trace: &DecodeTrace) -> De
 ///    prefix caching is on — matched pages are shared, not re-prefilled;
 /// 2. reserve decode headroom, evicting prefix-index LRU leaves and then
 ///    preempting latest-arrival requests (partial prefills first —
-///    cheapest to recompute) when pages run out;
+///    cheapest to recompute) when pages run out; under
+///    [`PreemptPolicy::SwapToHost`] a victim's exclusively-held pages
+///    move to the host tier instead (eviction DMA gates the reclaiming
+///    step), with per-victim recompute fallback;
 /// 3. plan this iteration's prefill chunks FIFO under the token budget
 ///    and the remaining free pages;
 /// 4. run one mixed step; every decode slot emits a token, every chunk
 ///    advances its prompt, completed prefills publish their whole-page
 ///    prompt pages to the index, emit their first token and join the
 ///    decode set.
+///
+/// Swapped sequences wait FIFO for free device frames (ahead of new
+/// arrivals), then their restore transfer streams on the h2d link while
+/// the scheduler keeps batching — they rejoin only when the transfer
+/// lands, context intact, nothing re-prefilled.
 #[allow(clippy::too_many_arguments)]
 fn run_continuous(
     cfg: &DecodeServeConfig,
@@ -324,14 +401,81 @@ fn run_continuous(
         cfg.prefill_chunk
     };
     let mut index = cfg.prefix_caching.then(|| RadixPrefixIndex::new(page));
+    let mut swap = matches!(cfg.preempt, PreemptPolicy::SwapToHost)
+        .then(|| SwapEngine::new(&cfg.device, kv.config().page_bytes.max(1)));
     let mut prefilling: VecDeque<Seq> = VecDeque::new();
     let mut running: Vec<Seq> = Vec::new();
+    // Swapped-out victims waiting for device frames (`bool` = was it
+    // decoding, i.e. does it rejoin `running` rather than `prefilling`),
+    // and restores whose transfer is still on the wire.
+    let mut swapped: VecDeque<(Seq, bool)> = VecDeque::new();
+    let mut restoring: RestoreQueue<(Seq, bool)> = RestoreQueue::new();
     let mut clock_s = 0.0_f64;
 
-    while !waiting.is_empty() || !prefilling.is_empty() || !running.is_empty() {
+    while !waiting.is_empty()
+        || !prefilling.is_empty()
+        || !running.is_empty()
+        || !swapped.is_empty()
+        || !restoring.is_empty()
+    {
+        // Restore-on-readmission: swapped sequences have priority over
+        // new arrivals for free frames (their context is paid for — the
+        // sooner it is back, the less the host pool holds). One spare
+        // frame beyond the swapped pages lets the restored sequence take
+        // at least one decode step before any further preemption.
+        // Initiation runs BEFORE the idle clock jump so that a drained
+        // batch starts its restores on the idle link immediately instead
+        // of deferring them behind an unrelated future arrival.
+        if let Some(eng) = swap.as_mut() {
+            while let Some((head, _)) = swapped.front() {
+                if running.len() + prefilling.len() + restoring.len() >= cfg.max_live.max(1) {
+                    break;
+                }
+                let need = kv.seq_host_pages(head.id) + 1;
+                assert!(
+                    need <= kv.config().num_pages,
+                    "KV pool ({} pages of {page} tokens) cannot hold one swapped \
+                     context plus headroom; enlarge kv_pages/kv_mem_fraction",
+                    kv.config().num_pages
+                );
+                if kv.free_pages() < need {
+                    let want = need - kv.free_pages();
+                    evict_index_pages(kv, index.as_mut(), want);
+                }
+                if kv.free_pages() < need {
+                    break;
+                }
+                let (s, was_decoding) = swapped.pop_front().expect("front checked");
+                let moved = kv.swap_in(s.id).expect("frames checked above");
+                let done = eng.swap_in(clock_s, moved);
+                metrics.record_restore(done - clock_s);
+                restoring.push((s, was_decoding), done);
+            }
+        }
+
         if prefilling.is_empty() && running.is_empty() {
-            if let Some(w) = waiting.front() {
-                clock_s = clock_s.max(w.arrival_s);
+            let mut next = waiting.front().map_or(f64::INFINITY, |w| w.arrival_s);
+            if let Some(r) = restoring.next_ready_s() {
+                next = next.min(r);
+            }
+            if next.is_finite() {
+                clock_s = clock_s.max(next);
+            }
+        }
+
+        // Restores whose transfer has landed rejoin the batch: decoding
+        // victims slot back into `running` in arrival order, mid-prefill
+        // victims resume at the head of the prefill queue (they are the
+        // oldest work there).
+        for (s, was_decoding) in restoring.pop_ready(clock_s) {
+            if was_decoding {
+                let pos = running
+                    .iter()
+                    .position(|r| r.arrival_s > s.arrival_s)
+                    .unwrap_or(running.len());
+                running.insert(pos, s);
+            } else {
+                prefilling.push_front(s);
             }
         }
 
@@ -344,7 +488,7 @@ fn run_continuous(
             if w.arrival_s > clock_s {
                 break;
             }
-            if running.len() + prefilling.len() >= cfg.max_live.max(1) {
+            if running.len() + prefilling.len() + restoring.len() >= cfg.max_live.max(1) {
                 break;
             }
             let first = w.ctx().max(1).min(chunk_cap);
@@ -359,6 +503,8 @@ fn run_continuous(
                 assert!(
                     !(prefilling.is_empty()
                         && running.is_empty()
+                        && swapped.is_empty()
+                        && restoring.is_empty()
                         && index.as_ref().is_none_or(RadixPrefixIndex::is_empty)),
                     "KV pool ({} pages of {page} tokens) cannot fit a single \
                      {first}-token prefill chunk; enlarge kv_pages/kv_mem_fraction",
@@ -409,9 +555,27 @@ fn run_continuous(
                 .find(|&i| prefilling[i].prefilled > 0)
             {
                 let victim = prefilling.remove(pos).expect("position found");
-                preempt_to_waiting(victim, kv, waiting);
+                preempt_victim(
+                    victim,
+                    false,
+                    kv,
+                    waiting,
+                    &mut swapped,
+                    swap.as_mut(),
+                    metrics,
+                    &mut clock_s,
+                );
             } else if let Some(victim) = running.pop() {
-                preempt_to_waiting(victim, kv, waiting);
+                preempt_victim(
+                    victim,
+                    true,
+                    kv,
+                    waiting,
+                    &mut swapped,
+                    swap.as_mut(),
+                    metrics,
+                    &mut clock_s,
+                );
             } else {
                 unreachable!("headroom is only needed by running requests");
             }
@@ -468,10 +632,18 @@ fn run_continuous(
 
         // Stalled with no decode work: reclaim prefix-cache pages, then
         // free a later partial prefill so the head can make progress next
-        // iteration.
+        // iteration. With restores in flight the frames are merely in
+        // transit — jump to the transfer's completion instead. Waiting on
+        // *time* (a future arrival, an in-flight restore) is the only
+        // reason to idle; anything else blocked here is blocked on
+        // frames and must reclaim some, down to demoting a swapped
+        // victim whose still-shared device pages hold the pool open —
+        // otherwise a run left with only swapped sequences and too few
+        // free frames to restore would spin forever.
         if running.is_empty() && rows == 0 {
-            if prefilling.is_empty() {
-                continue; // idle: next loop jumps to the next arrival
+            let future_arrival = waiting.front().is_some_and(|w| w.arrival_s > clock_s);
+            if prefilling.is_empty() && (future_arrival || !restoring.is_empty()) {
+                continue; // idle: next loop jumps to the next wake-up
             }
             if evict_index_pages(kv, index.as_mut(), 1) {
                 continue;
@@ -481,6 +653,30 @@ fn run_continuous(
                 .find(|&i| prefilling[i].prefilled > 0)
             {
                 let victim = prefilling.remove(pos).expect("position found");
+                preempt_victim(
+                    victim,
+                    false,
+                    kv,
+                    waiting,
+                    &mut swapped,
+                    swap.as_mut(),
+                    metrics,
+                    &mut clock_s,
+                );
+                continue;
+            }
+            if let Some(ready) = restoring.next_ready_s() {
+                clock_s = clock_s.max(ready);
+                continue;
+            }
+            if let Some((victim, _)) = swapped.pop_back() {
+                // Last resort: demote the youngest swapped victim to
+                // recompute so its host pages stop holding the books
+                // open (its shared device pages free with it). Its
+                // preserved context will be re-prefilled after all, so
+                // the savings recorded at swap time are handed back.
+                let preserved = host_written_tokens(kv, victim.id);
+                metrics.record_swap_demotion(preserved);
                 preempt_to_waiting(victim, kv, waiting);
                 continue;
             }
@@ -502,6 +698,18 @@ fn run_continuous(
                 .collect(),
             decode_ctx: running.iter().map(Seq::ctx).collect(),
         };
+        if cfg.verify_invariants {
+            // The ISSUE-level safety property of tiering: a decode step
+            // must never read KV that currently lives across the link.
+            for s in &running {
+                assert_eq!(
+                    kv.seq_resident(s.id),
+                    Some(true),
+                    "decode step would read a host-resident page of seq {}",
+                    s.id
+                );
+            }
+        }
         let gpu_s = step_gpu_seconds(cfg, &shape, shape.rows(), cache);
         clock_s += gpu_s;
         metrics.record_step(
@@ -512,6 +720,9 @@ fn run_continuous(
             kv.occupancy(),
             kv.fragmentation(),
         );
+        if swap.is_some() {
+            metrics.record_host_occupancy(kv.host_occupancy());
+        }
 
         // Decode slots each emitted one token.
         let mut still_running: Vec<Seq> = Vec::with_capacity(running.len() + prefilling.len());
@@ -581,8 +792,11 @@ fn run_continuous(
         }
     }
 
-    // End of run: snapshot the index's counters into the report, then
-    // release its page pins so the pool drains leak-free.
+    // End of run: snapshot the transfer counters and the index's, then
+    // release the index's page pins so the pool drains leak-free.
+    if let Some(eng) = swap {
+        metrics.set_swap(eng.stats());
+    }
     if let Some(mut ix) = index {
         metrics.set_prefix(ix.stats());
         let held = ix.drain_all();
@@ -629,6 +843,18 @@ fn will_finish(s: &Seq) -> bool {
     s.generated + 1 >= s.target
 }
 
+/// Written token slots on a live sequence's host-resident pages — the
+/// preserved context a demotion hands back to the re-prefill path.
+fn host_written_tokens(kv: &PagedKvCache, seq: u64) -> usize {
+    kv.seq_pages(seq).map_or(0, |pages| {
+        pages
+            .iter()
+            .filter(|&&p| kv.page_location(p) == pit_kv::PageLocation::Host)
+            .map(|&p| kv.page_written(p))
+            .sum()
+    })
+}
+
 /// The recompute-preemption protocol: frees the victim's pages, resets its
 /// chunked-prefill progress (re-admission re-prefills `prompt + generated`
 /// from scratch) and returns it to the head of the waiting queue so
@@ -637,6 +863,52 @@ fn preempt_to_waiting(mut victim: Seq, kv: &mut PagedKvCache, waiting: &mut VecD
     kv.preempt(victim.id).expect("victim held pages");
     victim.prefilled = 0;
     waiting.push_front(victim);
+}
+
+/// Preempts one victim under the configured policy. With a swap engine,
+/// its exclusively-held pages move to the host tier (decode-adjacent
+/// first; shared and prefix-pinned pages stay for their other holders) —
+/// the eviction DMA's completion gates the virtual clock because the
+/// freed frames are rewritten by the very step this preemption makes
+/// room for. A victim with nothing swappable, or one the host pool
+/// cannot hold, falls back to recompute.
+#[allow(clippy::too_many_arguments)]
+fn preempt_victim(
+    victim: Seq,
+    was_decoding: bool,
+    kv: &mut PagedKvCache,
+    waiting: &mut VecDeque<Seq>,
+    swapped: &mut VecDeque<(Seq, bool)>,
+    swap: Option<&mut SwapEngine>,
+    metrics: &mut DecodeMetrics,
+    clock_s: &mut f64,
+) {
+    if let Some(eng) = swap {
+        let descs: Vec<PageDesc> = kv
+            .seq_pages(victim.id)
+            .expect("victim held pages")
+            .iter()
+            .map(|&p| PageDesc {
+                page: p,
+                refs: kv.page_refs(p),
+                ext_refs: kv.page_ext_refs(p),
+            })
+            .collect();
+        let plan = plan_swap_out(&descs);
+        if !plan.is_empty() && plan.len() <= kv.host_free_pages() {
+            // Savings = written slots on the pages actually moved: the KV
+            // recompute would have to re-derive. Shared prefix pages stay
+            // resident either way, so they are not counted.
+            let saved: usize = plan.iter().map(|&p| kv.page_written(p)).sum();
+            kv.swap_out(victim.id, &plan).expect("plan is legal");
+            *clock_s = eng.swap_out(*clock_s, plan.len());
+            metrics.record_swap_preempt(saved);
+            swapped.push_back((victim, was_decoding));
+            return;
+        }
+        metrics.record_swap_fallback();
+    }
+    preempt_to_waiting(victim, kv, waiting);
 }
 
 /// The static padded loop: batch once, reserve worst-case KV, prefill the
@@ -1016,6 +1288,155 @@ mod tests {
         assert!(a.kv.conserved() && b.kv.conserved());
     }
 
+    /// A long-output trace over a pool a few contexts deep: the pressure
+    /// regime where preemption policy matters.
+    fn pressured_trace(n: usize, seed: u64) -> DecodeTrace {
+        DecodeTrace::poisson(
+            &DatasetSpec::cola(),
+            &DecodeSpec::summarization(),
+            n,
+            500.0,
+            seed,
+        )
+    }
+
+    fn pressured_cfg(preempt: PreemptPolicy) -> DecodeServeConfig {
+        let mut cfg = small_cfg(DecodePolicy::ContinuousPaddingFree { token_budget: 256 });
+        // One worst-case summarization context (64 + 768 tokens = 52
+        // pages) plus a little headroom: decode growth must evict.
+        cfg.kv_pages = Some(64);
+        cfg.preempt = preempt;
+        cfg.verify_invariants = true;
+        cfg
+    }
+
+    #[test]
+    fn swap_preemption_preserves_context_and_completes_everything() {
+        let t = pressured_trace(32, 23);
+        let rec = simulate_decode_trace(&pressured_cfg(PreemptPolicy::Recompute), &t);
+        let swp = simulate_decode_trace(&pressured_cfg(PreemptPolicy::SwapToHost), &t);
+        assert_eq!(rec.requests, t.len());
+        assert_eq!(swp.requests, t.len());
+        assert_eq!(swp.policy, "continuous-swap-to-host");
+        assert!(rec.kv.preemptions > 0, "pool must actually be pressured");
+        assert!(swp.swap_preemptions > 0, "swap must actually engage");
+        assert!(swp.restores > 0, "swapped sequences must come back");
+        assert!(swp.restore.p50 > 0.0 && swp.restore.p50 <= swp.restore.p95);
+        // The headline trade: swapped contexts are never re-prefilled, so
+        // swap serves the same outputs with less prefill work. (Decode
+        // rows are not exactly equal: a recompute re-admission folds the
+        // victim's next token into its re-prefill completion, so
+        // recompute converts a few decode rows into prefill-step rows.)
+        assert!(swp.decode_tokens >= rec.decode_tokens);
+        assert!(
+            swp.prefill_tokens < rec.prefill_tokens,
+            "swap re-prefilled {} vs recompute {}",
+            swp.prefill_tokens,
+            rec.prefill_tokens
+        );
+        assert!(swp.recompute_tokens_saved > 0);
+        let s = swp.swap.expect("swap stats attached");
+        assert_eq!(s.out_pages, swp.kv.swapped_out_pages);
+        assert!(s.out_bytes > 0 && s.in_bytes > 0);
+        assert!(swp.host_peak_occupancy > 0.0);
+        assert!(swp.host_peak_occupancy <= 1.0);
+        // Both tiers drain leak-free (checked every iteration too).
+        assert!(swp.kv.conserved(), "swap run leaked: {:?}", swp.kv);
+        assert_eq!(swp.kv.host_live_pages, 0);
+        assert!(rec.kv.conserved());
+        // Recompute runs carry no swap accounting.
+        assert!(rec.swap.is_none());
+        assert_eq!(rec.swap_preemptions, 0);
+        assert_eq!(rec.restores, 0);
+    }
+
+    #[test]
+    fn tiny_host_pool_falls_back_to_recompute_but_still_drains() {
+        let t = pressured_trace(24, 29);
+        let mut cfg = pressured_cfg(PreemptPolicy::SwapToHost);
+        // Room to stage only a couple of pages: most victims fall back.
+        cfg.host_pages = Some(2);
+        let r = simulate_decode_trace(&cfg, &t);
+        assert_eq!(r.requests, t.len());
+        assert!(
+            r.swap_fallbacks > 0,
+            "a 2-page host pool must refuse victims: {r:?}"
+        );
+        assert!(r.kv.conserved(), "leaked: {:?}", r.kv);
+        assert_eq!(r.kv.host_live_pages, 0);
+        assert_eq!(r.kv.host_capacity_pages, 2);
+    }
+
+    #[test]
+    fn swap_composes_with_prefix_caching() {
+        let t = shared_trace(32, 31);
+        let mut cfg = small_cfg(DecodePolicy::ContinuousPaddingFree { token_budget: 256 });
+        cfg.prefix_caching = true;
+        cfg.preempt = PreemptPolicy::SwapToHost;
+        cfg.verify_invariants = true;
+        cfg.kv_pages = Some(64); // index pins contend with decode growth
+        let r = simulate_decode_trace(&cfg, &t);
+        assert_eq!(r.requests, t.len());
+        assert_eq!(r.policy, "continuous-prefix-cached-swap");
+        assert!(r.kv.conserved(), "leaked under swap+prefix: {:?}", r.kv);
+        assert_eq!(r.kv.host_live_pages, 0);
+        // Shared and pinned pages never cross the link, so every swap the
+        // run performed moved exclusively-held pages only — enforced by
+        // the pool, verified every iteration.
+        assert!(r.prefix.is_some());
+    }
+
+    #[test]
+    fn swap_with_shared_prefixes_never_livelocks_on_stranded_frames() {
+        // The starving geometry: a large shared prefix stays device-
+        // resident with the swapped victims (their exclusive tails go to
+        // host), so a pool barely bigger than the prefix can be left
+        // with fewer free frames than any restore needs. The scheduler
+        // must demote rather than spin.
+        let spec = SharedPrefixSpec {
+            vocab: 256,
+            num_system_prompts: 1,
+            system_tokens: 96, // 6 shared pages on a 16-token page
+            num_templates: 1,
+            template_tokens: 16,
+            unique_min: 4,
+            unique_max: 12,
+            zipf_exponent: 1.0,
+        };
+        let arrivals = ArrivalTrace::bursty(&DatasetSpec::mnli(), 12, 400.0, 0.2, 0.3, 41);
+        let t = spec.decode_trace(&DecodeSpec::geometric(48.0, 8, 96), arrivals.arrival_s, 41);
+        let mut cfg = small_cfg(DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
+        cfg.prefix_caching = true;
+        cfg.preempt = PreemptPolicy::SwapToHost;
+        cfg.verify_invariants = true;
+        // Just over one worst-case context: shared pages + a thin margin.
+        cfg.kv_pages = Some(16);
+        let r = simulate_decode_trace(&cfg, &t);
+        assert_eq!(r.requests, t.len(), "run completed without spinning");
+        assert!(r.kv.conserved(), "leaked: {:?}", r.kv);
+        assert_eq!(r.kv.host_live_pages, 0);
+    }
+
+    #[test]
+    fn swap_simulation_is_deterministic() {
+        let t = pressured_trace(24, 37);
+        let cfg = pressured_cfg(PreemptPolicy::SwapToHost);
+        let a = simulate_decode_trace(&cfg, &t);
+        let b = simulate_decode_trace(&cfg, &t);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.decode_tokens, b.decode_tokens);
+        assert_eq!(a.kv.allocated_total, b.kv.allocated_total);
+        assert!(a.kv.conserved() && b.kv.conserved());
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous policy only")]
+    fn static_padded_rejects_swap_preemption() {
+        let mut cfg = small_cfg(DecodePolicy::StaticPadded { max_batch: 4 });
+        cfg.preempt = PreemptPolicy::SwapToHost;
+        simulate_decode_trace(&cfg, &trace(4));
+    }
+
     #[test]
     fn kv_config_derivation_matches_model_geometry() {
         let cfg =
@@ -1026,10 +1447,20 @@ mod tests {
             cfg.page_size * cfg.model.layers * 2 * cfg.model.hidden * cfg.dtype.size_bytes()
         );
         assert!(kv.pool_bytes() <= (cfg.device.global_mem_bytes as f64 * 0.25) as usize);
-        // Explicit page counts win over the memory fraction.
+        // Recompute pools carry no host tier.
+        assert_eq!(kv.host_pages, 0);
+        // Explicit page counts win over the memory fraction but still
+        // carry the per-page wire weight (the swap cost model needs it).
         let mut small = cfg.clone();
         small.kv_pages = Some(7);
         assert_eq!(small.kv_config().num_pages, 7);
-        assert_eq!(small.kv_config().page_bytes, 0);
+        assert_eq!(small.kv_config().page_bytes, kv.page_bytes);
+        // Swap preemption grants a host tier: 2x the device pool by
+        // default, or exactly what the caller asks for.
+        small.preempt = PreemptPolicy::SwapToHost;
+        assert_eq!(small.kv_config().host_pages, 14);
+        small.host_pages = Some(40);
+        assert_eq!(small.kv_config().host_pages, 40);
+        assert_eq!(small.kv_config().total_ids(), 47);
     }
 }

@@ -30,7 +30,11 @@
 //!   `pit_prefix`'s radix index, shares matched prompt pages
 //!   (refcounted), prefills only the suffix, and publishes completed
 //!   prompts back to the index; index LRU leaves are evicted when decode
-//!   allocation contends for free pages.
+//!   allocation contends for free pages. Under KV pressure,
+//!   [`decode::PreemptPolicy`] picks what eviction costs: recompute
+//!   (vLLM-style re-prefill) or swap-to-host (`pit_swap` — victim pages
+//!   cross the PCIe link into `pit_kv`'s host tier and stream back on
+//!   re-admission, restore latency overlapping later batches).
 //! - [`metrics`] — p50/p95/p99 latency, tokens/s on the modelled device,
 //!   padding-waste ratio, queue depth, rejected-request count and cache
 //!   hit rate in [`ServingReport`]; TTFT/inter-token percentiles (TTFT
@@ -44,7 +48,7 @@ pub mod queue;
 pub mod runtime;
 pub mod scheduler;
 
-pub use decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+pub use decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig, PreemptPolicy};
 pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles, ServingReport};
 pub use queue::BoundedQueue;
 pub use runtime::{

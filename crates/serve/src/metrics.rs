@@ -266,6 +266,14 @@ pub struct DecodeMetrics {
     prefix_misses: usize,
     prefix_cached_tokens: usize,
     prefix: Option<pit_prefix::PrefixStats>,
+    swap_preemptions: u64,
+    swap_fallbacks: u64,
+    recompute_tokens_saved: usize,
+    restore_s: Vec<f64>,
+    host_occupancy_sum: f64,
+    host_occupancy_peak: f64,
+    host_occupancy_samples: usize,
+    swap: Option<pit_swap::SwapStats>,
 }
 
 impl DecodeMetrics {
@@ -327,6 +335,47 @@ impl DecodeMetrics {
         self.prefix = Some(stats);
     }
 
+    /// Records one swap-to-host preemption: `saved_tokens` is the cached
+    /// context the swap preserved — exactly what recompute preemption
+    /// would have re-prefilled on re-admission.
+    pub fn record_swap_preempt(&mut self, saved_tokens: usize) {
+        self.swap_preemptions += 1;
+        self.recompute_tokens_saved += saved_tokens;
+    }
+
+    /// Records one preemption that fell back to recompute because the
+    /// victim had nothing swappable or the host pool was full.
+    pub fn record_swap_fallback(&mut self) {
+        self.swap_fallbacks += 1;
+    }
+
+    /// Records one swapped victim demoted to recompute after the fact:
+    /// counts as a fallback and hands back the savings recorded at swap
+    /// time — its preserved context will be re-prefilled after all.
+    pub fn record_swap_demotion(&mut self, preserved_tokens: usize) {
+        self.swap_fallbacks += 1;
+        self.recompute_tokens_saved = self.recompute_tokens_saved.saturating_sub(preserved_tokens);
+    }
+
+    /// Records one restore's latency: swap-in initiation to the moment
+    /// the transfer lands and the sequence may rejoin the batch (link
+    /// queueing included).
+    pub fn record_restore(&mut self, seconds: f64) {
+        self.restore_s.push(seconds);
+    }
+
+    /// Records the host staging pool's occupancy during one step.
+    pub fn record_host_occupancy(&mut self, occupancy: f64) {
+        self.host_occupancy_sum += occupancy;
+        self.host_occupancy_peak = self.host_occupancy_peak.max(occupancy);
+        self.host_occupancy_samples += 1;
+    }
+
+    /// Attaches the swap engine's end-of-run transfer counters.
+    pub fn set_swap(&mut self, stats: pit_swap::SwapStats) {
+        self.swap = Some(stats);
+    }
+
     /// Records one inter-token gap (seconds between consecutive tokens of
     /// the same request).
     pub fn record_itl(&mut self, seconds: f64) {
@@ -359,6 +408,15 @@ impl DecodeMetrics {
             prefix_misses: self.prefix_misses,
             prefix_cached_tokens: self.prefix_cached_tokens,
             prefix: self.prefix,
+            swap_preemptions: self.swap_preemptions,
+            swap_fallbacks: self.swap_fallbacks,
+            recompute_tokens_saved: self.recompute_tokens_saved,
+            restores: self.restore_s.len(),
+            restore: Percentiles::from_unsorted(self.restore_s),
+            host_mean_occupancy: self.host_occupancy_sum
+                / self.host_occupancy_samples.max(1) as f64,
+            host_peak_occupancy: self.host_occupancy_peak,
+            swap: self.swap,
             kv,
             kv_mean_occupancy: self.occupancy_sum / n,
             kv_peak_occupancy: self.occupancy_peak,
@@ -413,6 +471,27 @@ pub struct DecodeReport {
     /// Prefix-index counters at end of run (`None` when prefix caching is
     /// off).
     pub prefix: Option<pit_prefix::PrefixStats>,
+    /// Preemptions resolved by swapping the victim's pages to the host
+    /// tier instead of freeing them.
+    pub swap_preemptions: u64,
+    /// Preemptions that wanted to swap but fell back to recompute (host
+    /// pool full, or the victim held nothing exclusively).
+    pub swap_fallbacks: u64,
+    /// Context tokens preserved across swap preemptions — the prefill
+    /// work recompute preemption would have re-run.
+    pub recompute_tokens_saved: usize,
+    /// Restores completed (swapped sequences brought back).
+    pub restores: usize,
+    /// Restore-latency percentiles: swap-in initiation to transfer
+    /// landing, PCIe queueing included (zeros when nothing swapped).
+    pub restore: Percentiles,
+    /// Mean host staging-pool occupancy across iterations (0 without a
+    /// host tier).
+    pub host_mean_occupancy: f64,
+    /// Peak host staging-pool occupancy.
+    pub host_peak_occupancy: f64,
+    /// PCIe transfer counters (`None` when swap preemption is off).
+    pub swap: Option<pit_swap::SwapStats>,
     /// KV pool counters at end of run (leak check: `kv.conserved()`).
     pub kv: pit_kv::KvStats,
     /// Mean KV-page occupancy across iterations.
@@ -513,6 +592,24 @@ impl fmt::Display for DecodeReport {
         }
         if let Some(p) = &self.prefix {
             writeln!(f, "  {p}")?;
+        }
+        if let Some(s) = &self.swap {
+            writeln!(
+                f,
+                "  swap preemptions: {} ({} recompute fallbacks), {} context tokens kept \
+                 off the re-prefill path",
+                self.swap_preemptions, self.swap_fallbacks, self.recompute_tokens_saved,
+            )?;
+            writeln!(
+                f,
+                "  restores: {}  p50 {:.2} ms  p95 {:.2} ms; host pool mean {:.1}% / peak {:.1}%",
+                self.restores,
+                self.restore.p50 * 1e3,
+                self.restore.p95 * 1e3,
+                self.host_mean_occupancy * 100.0,
+                self.host_peak_occupancy * 100.0,
+            )?;
+            writeln!(f, "  {s}")?;
         }
         writeln!(
             f,
@@ -633,6 +730,41 @@ mod tests {
         assert!(text.contains("prefix"));
         assert!(text.contains("from cache"));
         assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn decode_collector_aggregates_swap_accounting() {
+        let mut m = DecodeMetrics::new();
+        m.record_swap_preempt(120);
+        m.record_swap_preempt(80);
+        m.record_swap_fallback();
+        m.record_restore(0.002);
+        m.record_restore(0.006);
+        m.record_host_occupancy(0.25);
+        m.record_host_occupancy(0.75);
+        m.record_e2e(0.1);
+        let eng = pit_swap::SwapEngine::new(&pit_gpusim::DeviceSpec::a100_80gb(), 1 << 20);
+        m.set_swap(eng.stats());
+        let kv = pit_kv::PagedKvCache::new(pit_kv::KvConfig::new(16, 8)).stats();
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        let r = m.report("continuous-swap-to-host", kv, cache);
+        assert_eq!(r.swap_preemptions, 2);
+        assert_eq!(r.swap_fallbacks, 1);
+        assert_eq!(r.recompute_tokens_saved, 200);
+        assert_eq!(r.restores, 2);
+        assert_eq!(r.restore.p50, 0.002);
+        assert_eq!(r.restore.p99, 0.006);
+        assert!((r.host_mean_occupancy - 0.5).abs() < 1e-12);
+        assert!((r.host_peak_occupancy - 0.75).abs() < 1e-12);
+        assert!(r.swap.is_some());
+        let text = r.to_string();
+        assert!(text.contains("swap preemptions"));
+        assert!(text.contains("restores"));
+        assert!(text.contains("host pool"));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! `pit-swap` — tiered KV memory: swap-to-host preemption over PCIe.
+//!
+//! Under KV pressure the decode runtime's only PR-3 answer was vLLM-style
+//! *recompute* preemption: free the victim's pages and re-prefill its whole
+//! context on re-admission. That burns prefill FLOPs re-deriving KV state
+//! the system already computed once. This crate implements the alternative
+//! the ROADMAP names: move the victim's pages across the PCIe link into a
+//! host-side staging pool and stream them back on re-admission — trading
+//! interconnect bandwidth for compute.
+//!
+//! Three pieces, each deliberately small:
+//!
+//! - [`pcie`] — the transfer-cost model: a [`PcieLink`] per direction
+//!   (PCIe is full duplex) with `DeviceSpec::pcie_gbps` bandwidth, a fixed
+//!   per-transfer synchronisation cost, and a `busy_until` horizon so
+//!   restores can *overlap* subsequent batches while swap-outs gate the
+//!   step that reuses the freed frames. [`SwapEngine`] bundles the two
+//!   directions plus byte/page counters into one surface for the decode
+//!   loop.
+//! - [`planner`] — victim page ordering. Decode-adjacent (tail) pages
+//!   swap first: they are the state the victim needs to resume and the
+//!   pages recompute would have to re-derive at full prefill cost.
+//!   Prefix-index-pinned pages swap last — in the limit never, because a
+//!   pinned page is by construction shared (index pin + sequence
+//!   reference), other holders need it device-resident, and the suffix
+//!   path re-prefills it cheaply if it is ever dropped. Shared pages stay
+//!   put for the same reason; only exclusively-held pages move.
+//! - [`restore`] — the restore-on-readmission queue: swapped sequences
+//!   wait FIFO for device frames, then their swap-in transfer is
+//!   scheduled on the h2d link and they rejoin the batch only when the
+//!   transfer completes ([`RestoreQueue::pop_ready`]), so restore latency
+//!   hides behind whatever the scheduler runs meanwhile.
+//!
+//! The actual page books (which page is resident in which tier, refcounts
+//! surviving the move) live in `pit_kv::PagedKvCache`'s host tier
+//! (`swap_out`/`swap_in`); `pit_serve::decode` wires both together under
+//! `PreemptPolicy::SwapToHost`.
+
+pub mod pcie;
+pub mod planner;
+pub mod restore;
+
+pub use pcie::{PcieLink, SwapEngine, SwapStats};
+pub use planner::{plan_swap_out, PageDesc};
+pub use restore::RestoreQueue;

@@ -1,0 +1,254 @@
+//! The PCIe transfer-cost model.
+//!
+//! A swap moves whole KV pages across the host interconnect. The model is
+//! the same roofline shape as the rest of `pit_gpusim`: a transfer of `b`
+//! bytes costs a fixed synchronisation overhead (driver + DMA setup,
+//! [`DeviceSpec::host_sync_s`]) plus `b / bandwidth` at the link's
+//! [`DeviceSpec::pcie_gbps`]. One [`PcieLink`] models one *direction* —
+//! PCIe is full duplex, so device-to-host eviction traffic and
+//! host-to-device restore traffic get a link each and do not contend with
+//! one another, while transfers in the same direction serialise behind a
+//! `busy_until` horizon.
+//!
+//! The horizon is what lets the decode loop charge the two directions
+//! differently: a swap-*out* must complete before the freed frames can be
+//! rewritten, so its completion time gates the step that reclaimed them;
+//! a swap-*in* only gates the victim's own re-admission, so the scheduler
+//! keeps batching other requests under the transfer (restore latency
+//! overlaps compute exactly as far as the link allows).
+
+use pit_gpusim::DeviceSpec;
+use std::fmt;
+
+/// One direction of the host interconnect: bandwidth, fixed per-transfer
+/// overhead, and a serialisation horizon on a virtual clock.
+#[derive(Debug, Clone)]
+pub struct PcieLink {
+    bw_bytes_per_s: f64,
+    sync_s: f64,
+    busy_until_s: f64,
+    transfers: u64,
+    bytes: u64,
+    busy_s: f64,
+}
+
+impl PcieLink {
+    /// A link with `gbps` GB/s of bandwidth and `sync_s` seconds of fixed
+    /// per-transfer overhead.
+    pub fn new(gbps: f64, sync_s: f64) -> Self {
+        assert!(gbps > 0.0, "PCIe bandwidth must be positive");
+        PcieLink {
+            bw_bytes_per_s: gbps * 1e9,
+            sync_s: sync_s.max(0.0),
+            busy_until_s: 0.0,
+            transfers: 0,
+            bytes: 0,
+            busy_s: 0.0,
+        }
+    }
+
+    /// One direction of `device`'s host interconnect.
+    pub fn from_device(device: &DeviceSpec) -> Self {
+        Self::new(device.pcie_gbps, device.host_sync_s)
+    }
+
+    /// Modelled duration of one `bytes`-byte transfer, ignoring queueing.
+    pub fn transfer_s(&self, bytes: usize) -> f64 {
+        self.sync_s + bytes as f64 / self.bw_bytes_per_s
+    }
+
+    /// Schedules a transfer no earlier than `now_s`, after any transfer
+    /// already in flight in this direction; returns its completion time.
+    pub fn schedule(&mut self, now_s: f64, bytes: usize) -> f64 {
+        let start = now_s.max(self.busy_until_s);
+        let dur = self.transfer_s(bytes);
+        self.busy_until_s = start + dur;
+        self.transfers += 1;
+        self.bytes += bytes as u64;
+        self.busy_s += dur;
+        self.busy_until_s
+    }
+
+    /// Time the link is busy until (transfers already scheduled).
+    pub fn busy_until_s(&self) -> f64 {
+        self.busy_until_s
+    }
+
+    /// Transfers scheduled so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Bytes moved so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total seconds this direction has been busy.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+}
+
+/// Both directions of the link plus page-granular counters — the surface
+/// the decode loop drives. `page_bytes` is what one logical KV page
+/// weighs on the wire (all layers, K and V).
+#[derive(Debug, Clone)]
+pub struct SwapEngine {
+    page_bytes: usize,
+    d2h: PcieLink,
+    h2d: PcieLink,
+    out_pages: u64,
+    in_pages: u64,
+}
+
+impl SwapEngine {
+    /// An engine over `device`'s PCIe link moving pages of `page_bytes`.
+    pub fn new(device: &DeviceSpec, page_bytes: usize) -> Self {
+        SwapEngine {
+            page_bytes: page_bytes.max(1),
+            d2h: PcieLink::from_device(device),
+            h2d: PcieLink::from_device(device),
+            out_pages: 0,
+            in_pages: 0,
+        }
+    }
+
+    /// Bytes one page occupies on the wire.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Schedules a swap-out of `pages` pages at `now_s`; returns the
+    /// completion time. The caller must not reuse the freed device frames
+    /// before it — eviction gates the step that reclaimed them.
+    pub fn swap_out(&mut self, now_s: f64, pages: usize) -> f64 {
+        self.out_pages += pages as u64;
+        self.d2h.schedule(now_s, pages * self.page_bytes)
+    }
+
+    /// Schedules a restore of `pages` pages at `now_s`; returns the
+    /// completion time. Only the restored sequence waits on it — other
+    /// batches keep running under the transfer.
+    pub fn swap_in(&mut self, now_s: f64, pages: usize) -> f64 {
+        self.in_pages += pages as u64;
+        self.h2d.schedule(now_s, pages * self.page_bytes)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SwapStats {
+        SwapStats {
+            page_bytes: self.page_bytes,
+            out_pages: self.out_pages,
+            out_bytes: self.d2h.bytes(),
+            out_transfers: self.d2h.transfers(),
+            d2h_busy_s: self.d2h.busy_s(),
+            in_pages: self.in_pages,
+            in_bytes: self.h2d.bytes(),
+            in_transfers: self.h2d.transfers(),
+            h2d_busy_s: self.h2d.busy_s(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of a [`SwapEngine`]'s transfer counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapStats {
+    /// Bytes one page occupies on the wire.
+    pub page_bytes: usize,
+    /// Pages evicted to the host tier.
+    pub out_pages: u64,
+    /// Bytes moved device → host.
+    pub out_bytes: u64,
+    /// Device → host transfers scheduled.
+    pub out_transfers: u64,
+    /// Seconds the eviction direction was busy.
+    pub d2h_busy_s: f64,
+    /// Pages restored to the device tier.
+    pub in_pages: u64,
+    /// Bytes moved host → device.
+    pub in_bytes: u64,
+    /// Host → device transfers scheduled.
+    pub in_transfers: u64,
+    /// Seconds the restore direction was busy.
+    pub h2d_busy_s: f64,
+}
+
+impl fmt::Display for SwapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "swap: {} pages / {:.1} MiB out in {} transfers ({:.2} ms d2h), \
+             {} pages / {:.1} MiB restored in {} transfers ({:.2} ms h2d)",
+            self.out_pages,
+            self.out_bytes as f64 / (1 << 20) as f64,
+            self.out_transfers,
+            self.d2h_busy_s * 1e3,
+            self.in_pages,
+            self.in_bytes as f64 / (1 << 20) as f64,
+            self.in_transfers,
+            self.h2d_busy_s * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_sync_plus_bandwidth() {
+        let link = PcieLink::new(32.0, 10.0e-6);
+        // 32 MB at 32 GB/s = 1 ms, plus 10 us of sync.
+        let s = link.transfer_s(32 * 1000 * 1000);
+        assert!((s - 1.01e-3).abs() < 1e-9, "got {s}");
+        // Bandwidth halved, transfer doubled (sync constant).
+        let slow = PcieLink::new(16.0, 10.0e-6);
+        assert!((slow.transfer_s(32 * 1000 * 1000) - 2.01e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_direction_transfers_serialise() {
+        let mut link = PcieLink::new(1.0, 0.0); // 1 GB/s, no sync
+        let a = link.schedule(0.0, 1_000_000_000); // 1 s
+        assert!((a - 1.0).abs() < 1e-12);
+        // Issued at t=0.5 but the link is busy until 1.0: queues behind.
+        let b = link.schedule(0.5, 500_000_000);
+        assert!((b - 1.5).abs() < 1e-12);
+        // Issued after the link idles: starts immediately.
+        let c = link.schedule(10.0, 1_000_000_000);
+        assert!((c - 11.0).abs() < 1e-12);
+        assert_eq!(link.transfers(), 3);
+        assert_eq!(link.bytes(), 2_500_000_000);
+        assert!((link.busy_s() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directions_do_not_contend() {
+        let mut eng = SwapEngine::new(&DeviceSpec::a100_80gb(), 1_000_000);
+        let out = eng.swap_out(0.0, 8);
+        let back = eng.swap_in(0.0, 8);
+        // Full duplex: the restore is not queued behind the eviction.
+        assert!((out - back).abs() < 1e-12);
+        let s = eng.stats();
+        assert_eq!(s.out_pages, 8);
+        assert_eq!(s.in_pages, 8);
+        assert_eq!(s.out_bytes, 8_000_000);
+        assert_eq!(s.in_bytes, 8_000_000);
+        assert_eq!(s.out_transfers, 1);
+        assert_eq!(s.in_transfers, 1);
+        let text = s.to_string();
+        assert!(text.contains("restored"));
+        assert!(text.contains("d2h"));
+    }
+
+    #[test]
+    fn engine_uses_device_pcie_bandwidth() {
+        let a100 = SwapEngine::new(&DeviceSpec::a100_80gb(), 1 << 20);
+        let v100 = SwapEngine::new(&DeviceSpec::v100_32gb(), 1 << 20);
+        // Same page, half the bandwidth: the V100 link is slower.
+        let a = a100.d2h.transfer_s(1 << 20);
+        let v = v100.d2h.transfer_s(1 << 20);
+        assert!(v > a, "v100 {v} vs a100 {a}");
+    }
+}

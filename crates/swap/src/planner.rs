@@ -1,0 +1,108 @@
+//! Victim page ordering for swap-out.
+//!
+//! Not every page of a preemption victim is worth (or safe) moving across
+//! the link, and the ones that are worth it have a priority:
+//!
+//! - **Decode-adjacent pages first.** The tail of the page table holds
+//!   the most recently written context — the state the victim needs back
+//!   to resume decoding and exactly what recompute preemption would have
+//!   to re-derive at full prefill cost. They are the highest-value bytes
+//!   per PCIe dollar.
+//! - **Prefix-index-pinned pages last.** A pinned page's KV is reachable
+//!   through the prefix cache: if it were ever dropped, re-admission
+//!   re-prefills only the suffix after it, so it is the cheapest state to
+//!   lose. In practice "last" degenerates to *never*: a pinned page is by
+//!   construction shared (the index's retain plus the victim's reference),
+//!   and a shared page must stay device-resident because its other
+//!   holders are still decoding against it.
+//! - **Shared pages never.** Same argument without the index: another
+//!   live sequence reads that page every iteration.
+//!
+//! [`plan_swap_out`] encodes this: given the victim's page table with
+//! reference counts, it returns the movable pages in swap order
+//! (exclusively-held pages, tail first). The pool-side legality check
+//! (`refs == 1`, device-resident) is re-verified by
+//! `pit_kv::PagedKvCache::swap_out`; the planner only chooses and orders.
+
+use pit_kv::PageId;
+
+/// One page of a preemption victim's page table, as the planner sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageDesc {
+    /// Physical page id.
+    pub page: PageId,
+    /// Total references (sequence holders + external retains).
+    pub refs: u32,
+    /// External retains (prefix-index pins).
+    pub ext_refs: u32,
+}
+
+impl PageDesc {
+    /// True when only the victim itself references the page — the only
+    /// pages a swap may move.
+    pub fn exclusive(&self) -> bool {
+        self.refs == 1
+    }
+
+    /// True when the prefix index pins the page.
+    pub fn pinned(&self) -> bool {
+        self.ext_refs > 0
+    }
+}
+
+/// Orders a victim's pages for swap-out: exclusively-held pages in
+/// decode-adjacent-first order (the *reverse* of `pages`, which is the
+/// token-order page table). Shared and prefix-pinned pages are omitted —
+/// they must stay device-resident for their other holders, and pinned
+/// pages are the cheapest to re-derive through the suffix path anyway.
+pub fn plan_swap_out(pages: &[PageDesc]) -> Vec<PageId> {
+    pages
+        .iter()
+        .rev()
+        .filter(|d| d.exclusive())
+        .map(|d| d.page)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(page: PageId, refs: u32, ext_refs: u32) -> PageDesc {
+        PageDesc {
+            page,
+            refs,
+            ext_refs,
+        }
+    }
+
+    #[test]
+    fn exclusive_pages_swap_tail_first() {
+        let table = [desc(4, 1, 0), desc(9, 1, 0), desc(2, 1, 0)];
+        assert_eq!(plan_swap_out(&table), vec![2, 9, 4]);
+    }
+
+    #[test]
+    fn shared_and_pinned_pages_are_never_moved() {
+        // A prefix-cached victim: two shared prompt pages (one of them
+        // index-pinned), then three private decode pages.
+        let table = [
+            desc(0, 3, 1), // pinned + shared prompt page
+            desc(1, 2, 0), // shared with another sequence
+            desc(2, 1, 0),
+            desc(3, 1, 0),
+            desc(4, 1, 0),
+        ];
+        assert!(table[0].pinned() && !table[0].exclusive());
+        assert!(!table[1].pinned() && !table[1].exclusive());
+        // Only the private tail moves, decode-adjacent first.
+        assert_eq!(plan_swap_out(&table), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn fully_shared_victims_have_nothing_to_move() {
+        let table = [desc(0, 2, 1), desc(1, 2, 0)];
+        assert!(plan_swap_out(&table).is_empty());
+        assert!(plan_swap_out(&[]).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Restore-on-readmission queues.
+//!
+//! A swapped sequence comes back in two stages. First it waits (FIFO, in
+//! the decode loop's `swapped` queue) for enough free device frames;
+//! then its swap-in transfer is scheduled on the h2d link and it sits
+//! *in flight* — frames held, pages streaming — until the transfer's
+//! completion time passes on the virtual clock. [`RestoreQueue`] is that
+//! second stage: entries carry their ready time, [`RestoreQueue::pop_ready`]
+//! releases the ones whose transfer has landed, and
+//! [`RestoreQueue::next_ready_s`] tells an idle scheduler how far to jump
+//! the clock. Everything else the scheduler runs between `push` and
+//! `pop_ready` overlaps the restore — that is the latency-hiding the
+//! full-duplex link model allows.
+
+/// In-flight restores, each ready at a known virtual time.
+#[derive(Debug, Clone)]
+pub struct RestoreQueue<T> {
+    inflight: Vec<(T, f64)>,
+    restored: u64,
+}
+
+impl<T> Default for RestoreQueue<T> {
+    fn default() -> Self {
+        RestoreQueue {
+            inflight: Vec::new(),
+            restored: 0,
+        }
+    }
+}
+
+impl<T> RestoreQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an in-flight restore that completes at `ready_s`.
+    pub fn push(&mut self, item: T, ready_s: f64) {
+        self.inflight.push((item, ready_s));
+    }
+
+    /// Removes and returns every restore whose transfer has completed by
+    /// `now_s`, in ready order (ties keep insertion order).
+    pub fn pop_ready(&mut self, now_s: f64) -> Vec<T> {
+        let mut ready: Vec<(T, f64)> = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].1 <= now_s {
+                ready.push(self.inflight.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        ready.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN ready time"));
+        self.restored += ready.len() as u64;
+        ready.into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Earliest completion time among in-flight restores — how far an
+    /// otherwise-idle scheduler must advance its clock to make progress.
+    pub fn next_ready_s(&self) -> Option<f64> {
+        self.inflight
+            .iter()
+            .map(|&(_, r)| r)
+            .min_by(|a, b| a.partial_cmp(b).expect("NaN ready time"))
+    }
+
+    /// In-flight restores.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Restores completed over the queue's lifetime.
+    pub fn restored(&self) -> u64 {
+        self.restored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_only_completed_restores_in_ready_order() {
+        let mut q = RestoreQueue::new();
+        q.push("late", 3.0);
+        q.push("early", 1.0);
+        q.push("mid", 2.0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_ready_s(), Some(1.0));
+        assert_eq!(q.pop_ready(0.5), Vec::<&str>::new());
+        assert_eq!(q.pop_ready(2.0), vec!["early", "mid"]);
+        assert_eq!(q.next_ready_s(), Some(3.0));
+        assert_eq!(q.pop_ready(10.0), vec!["late"]);
+        assert!(q.is_empty());
+        assert_eq!(q.next_ready_s(), None);
+        assert_eq!(q.restored(), 3);
+    }
+
+    #[test]
+    fn boundary_time_counts_as_ready() {
+        let mut q = RestoreQueue::new();
+        q.push(7u64, 1.5);
+        assert_eq!(q.pop_ready(1.5), vec![7]);
+    }
+}

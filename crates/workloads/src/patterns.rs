@@ -142,6 +142,18 @@ impl DecodeSpec {
         Self::geometric(8.0, 1, 32)
     }
 
+    /// Summarization-style generations: every request writes a real
+    /// summary (≥ 16 tokens) and the geometric tail reaches 768 — so a
+    /// request's KV footprint is dominated by its *output*, growing page
+    /// by page long after admission. Paired with a short-prompt dataset
+    /// (e.g. `DatasetSpec::cola`) this is the workload that reliably
+    /// drives KV-pool pressure: admission sees tiny prompts and says yes,
+    /// then decode growth outruns the pool and the preemption policy —
+    /// recompute vs swap-to-host — decides what that costs.
+    pub fn summarization() -> Self {
+        Self::geometric(192.0, 16, 768)
+    }
+
     /// Samples `n` output lengths, deterministically per seed.
     pub fn sample_output_lens(&self, n: usize, seed: u64) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7_2722_0a95);
@@ -435,6 +447,28 @@ mod tests {
         // Geometric tail: some short, some long outputs.
         assert!(a.iter().any(|&o| o <= 8));
         assert!(a.iter().any(|&o| o >= 128));
+    }
+
+    #[test]
+    fn summarization_outputs_are_long_and_heavy_tailed() {
+        let spec = DecodeSpec::summarization();
+        let lens = spec.sample_output_lens(512, 7);
+        assert!(lens.iter().all(|&o| (16..=768).contains(&o)));
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!(
+            (mean - spec.mean_out).abs() < spec.mean_out * 0.25,
+            "mean {mean} vs {}",
+            spec.mean_out
+        );
+        // Heavy tail: a meaningful share of requests run very long —
+        // the page-by-page growth that creates KV pressure.
+        let long = lens.iter().filter(|&&o| o >= 384).count();
+        assert!(long >= 32, "expected a heavy tail, saw {long}/512 >= 384");
+        // Outputs dominate prompts for a short-prompt dataset: the KV
+        // footprint is output-driven.
+        let prompts = crate::datasets::DatasetSpec::cola().sample_lengths(512, 7);
+        let prompt_mean = prompts.iter().sum::<usize>() as f64 / prompts.len() as f64;
+        assert!(mean > 8.0 * prompt_mean, "{mean} vs prompt {prompt_mean}");
     }
 
     #[test]

@@ -16,10 +16,13 @@
 //! - [`models`] — transformer/MoE model simulations used in the evaluation.
 //! - [`workloads`] — synthetic dataset/workload generators.
 //! - [`kv`] — paged KV-cache manager: fixed-size refcounted token pages,
-//!   alloc/extend/free plus shared admission and copy-on-write,
-//!   occupancy/fragmentation stats, admission signal.
+//!   alloc/extend/free plus shared admission and copy-on-write, a host
+//!   staging tier with swap_out/swap_in, occupancy/fragmentation stats,
+//!   admission signal.
 //! - [`prefix`] — radix-tree prompt-prefix cache mapping token-ID
 //!   prefixes to shared KV pages, with LRU leaf eviction.
+//! - [`swap`] — tiered-KV swap machinery: PCIe link cost model, victim
+//!   page ordering, restore-on-readmission queues.
 //! - [`serve`] — concurrent serving runtime: bounded admission,
 //!   padding-free continuous batching (prefill and decode phase), worker
 //!   pool, serving metrics.
@@ -35,6 +38,7 @@ pub use pit_models as models;
 pub use pit_prefix as prefix;
 pub use pit_serve as serve;
 pub use pit_sparse as sparse;
+pub use pit_swap as swap;
 pub use pit_tensor as tensor;
 pub use pit_workloads as workloads;
 

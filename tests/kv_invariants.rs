@@ -2,26 +2,29 @@
 //! its use by the decode runtime: page conservation (allocated = freed +
 //! live), no double-frees, occupancy bounds, refcounted sharing (no page
 //! freed while referenced, copy-on-write never mutates a shared page),
-//! and end-of-run leak freedom under completion and preemption.
+//! tiered residency under swap-out/swap-in (no double residency,
+//! refcounts survive tier moves), and end-of-run leak freedom across both
+//! tiers under completion and preemption.
 
-use pit::kv::{KvConfig, KvError, PagedKvCache};
-use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+use pit::kv::{KvConfig, KvError, PageLocation, PagedKvCache};
+use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig, PreemptPolicy};
 use pit::workloads::{ArrivalTrace, DatasetSpec, DecodeSpec, DecodeTrace, SharedPrefixSpec};
 use proptest::prelude::*;
 
 /// Deterministic operation stream driver: interprets a seed as a sequence
-/// of alloc/extend/free/preempt/share/retain/release operations over a
-/// bounded id space and checks the pool invariants after every step.
+/// of alloc/extend/free/preempt/share/retain/release/swap operations over
+/// a bounded id space and checks the pool invariants after every step.
 /// Returns the pool and the externally retained pages still to release
 /// (the prefix-index mirror).
 fn drive_ops(
     page_size: usize,
     pages: usize,
+    host_pages: usize,
     ids: u64,
     ops: usize,
     seed: u64,
 ) -> (PagedKvCache, Vec<u32>) {
-    let mut kv = PagedKvCache::new(KvConfig::new(page_size, pages));
+    let mut kv = PagedKvCache::new(KvConfig::new(page_size, pages).with_host_pages(host_pages));
     let mut retained: Vec<u32> = Vec::new();
     let mut h = seed | 1;
     let mut next = || {
@@ -37,7 +40,7 @@ fn drive_ops(
         let tokens = (r >> 32) as usize % (3 * page_size) + 1;
         let live_before = kv.live_pages();
         let free_before = kv.free_pages();
-        match r % 7 {
+        match r % 9 {
             0 => {
                 let was_live = kv.seq_tokens(id).is_some();
                 match kv.alloc(id, tokens) {
@@ -63,9 +66,11 @@ fn drive_ops(
                     let p = kv.seq_pages(id).expect("live")[u / page_size];
                     (kv.page_refs(p) > 1).then_some((u / page_size, p, kv.page_written(p)))
                 });
+                let swapped_held = kv.seq_host_pages(id);
                 match kv.extend(id, tokens) {
                     Ok(n) => {
                         let before = held.expect("extend succeeded on unknown seq");
+                        assert_eq!(swapped_held, 0, "extend succeeded on a swapped seq");
                         assert_eq!(kv.seq_tokens(id), Some(before + tokens));
                         assert_eq!(kv.live_pages(), live_before + n);
                         if let Some((bi, p, written)) = cow_source {
@@ -83,6 +88,11 @@ fn drive_ops(
                     Err(KvError::OutOfPages { .. }) => {
                         assert_eq!(kv.seq_tokens(id), held, "failed extend mutated seq");
                         assert_eq!(kv.live_pages(), live_before);
+                    }
+                    Err(KvError::SwappedOut(s)) => {
+                        assert_eq!(s, id);
+                        assert!(swapped_held > 0, "only swapped seqs refuse writes");
+                        assert_eq!(kv.seq_tokens(id), held, "failed extend mutated seq");
                     }
                     Err(e) => panic!("unexpected extend error {e:?}"),
                 }
@@ -102,11 +112,17 @@ fn drive_ops(
                     })
                     .unwrap_or_default();
                 let held_pages = kv.seq_pages(id).map(<[u32]>::len).unwrap_or(0);
+                let host_held = kv.seq_host_pages(id);
+                let host_before = kv.host_live_pages();
                 match kv.free(id) {
                     Ok(n) => {
                         assert!(was_live);
                         assert!(n <= held_pages, "cannot free more than it held");
-                        assert_eq!(kv.free_pages(), free_before + n);
+                        // Host-resident pages (always exclusive) free with
+                        // the sequence but return host frames, not device
+                        // ones.
+                        assert_eq!(kv.free_pages(), free_before + n - host_held);
+                        assert_eq!(kv.host_live_pages(), host_before - host_held);
                         for &(p, r) in &shared {
                             assert_eq!(kv.page_refs(p), r - 1);
                             assert!(kv.page_refs(p) >= 1, "no page freed while referenced");
@@ -150,14 +166,37 @@ fn drive_ops(
                         }
                     }
                     Err(KvError::AlreadyAllocated(e)) => assert_eq!(e, id),
+                    Err(KvError::InvalidShare) => {
+                        // Only legal when part of the donor's prefix sits
+                        // on the host tier — swapped KV cannot be shared.
+                        assert!(
+                            prefix_pages
+                                .iter()
+                                .any(|&p| kv.page_location(p) == PageLocation::Host),
+                            "share of resident live pages was refused"
+                        );
+                        assert_eq!(kv.live_pages(), live_before);
+                    }
                     Err(e) => panic!("unexpected alloc_shared error {e:?}"),
                 }
             }
             5 => {
-                // External retain (the prefix index pinning a page).
-                let Some(&page) = kv.seq_tokens(id).and_then(|_| {
-                    let pages = kv.seq_pages(id).expect("live");
-                    pages.get((r >> 24) as usize % pages.len())
+                // External retain (the prefix index pinning a page). Host-
+                // resident pages are not pinnable, so pick among the
+                // device-resident ones.
+                let Some(page) = kv.seq_tokens(id).and_then(|_| {
+                    let pages: Vec<u32> = kv
+                        .seq_pages(id)
+                        .expect("live")
+                        .iter()
+                        .copied()
+                        .filter(|&p| kv.page_location(p) == PageLocation::Device)
+                        .collect();
+                    if pages.is_empty() {
+                        None
+                    } else {
+                        Some(pages[(r >> 24) as usize % pages.len()])
+                    }
                 }) else {
                     continue;
                 };
@@ -166,6 +205,77 @@ fn drive_ops(
                 assert_eq!(kv.page_refs(page), refs_before + 1);
                 assert_eq!(kv.live_pages(), live_before);
                 retained.push(page);
+            }
+            7 => {
+                // Swap-out: move a tail slice of a live sequence's
+                // exclusively-held device pages to the host tier.
+                let Some(_) = kv.seq_tokens(id) else { continue };
+                let exclusive: Vec<u32> = kv
+                    .seq_pages(id)
+                    .expect("live")
+                    .iter()
+                    .rev()
+                    .copied()
+                    .filter(|&p| {
+                        kv.page_refs(p) == 1 && kv.page_location(p) == PageLocation::Device
+                    })
+                    .collect();
+                if exclusive.is_empty() {
+                    continue;
+                }
+                let take = (r >> 40) as usize % exclusive.len() + 1;
+                let plan = &exclusive[..take];
+                let host_before = kv.host_live_pages();
+                let seq_host_before = kv.seq_host_pages(id);
+                let used_before = kv.used_tokens();
+                match kv.swap_out(id, plan) {
+                    Ok(()) => {
+                        // Tier move, not a free: identities, refcounts and
+                        // written slots all survive; device frames return.
+                        assert_eq!(kv.live_pages(), live_before);
+                        assert_eq!(kv.free_pages(), free_before + take);
+                        assert_eq!(kv.host_live_pages(), host_before + take);
+                        assert_eq!(kv.used_tokens(), used_before);
+                        for &p in plan {
+                            assert_eq!(kv.page_refs(p), 1, "refcount survived the move");
+                            assert_eq!(kv.page_location(p), PageLocation::Host);
+                        }
+                        assert_eq!(kv.seq_host_pages(id), seq_host_before + take);
+                    }
+                    Err(KvError::OutOfHostPages { needed, free }) => {
+                        assert_eq!(needed, take);
+                        assert!(free < take, "atomic failure must be real");
+                        assert_eq!(kv.host_live_pages(), host_before, "failed swap moved pages");
+                        assert_eq!(kv.free_pages(), free_before);
+                    }
+                    Err(e) => panic!("unexpected swap_out error {e:?}"),
+                }
+            }
+            8 => {
+                // Swap-in: restore a sequence's host pages to the device.
+                let host_held = kv.seq_host_pages(id);
+                let used_before = kv.used_tokens();
+                match kv.swap_in(id) {
+                    Ok(n) => {
+                        assert_eq!(n, host_held);
+                        assert_eq!(kv.seq_host_pages(id), 0);
+                        assert_eq!(kv.seq_resident(id), Some(true));
+                        assert_eq!(kv.live_pages(), live_before);
+                        assert_eq!(kv.used_tokens(), used_before);
+                        assert_eq!(kv.free_pages(), free_before - n);
+                    }
+                    Err(KvError::UnknownSeq(_)) => assert!(kv.seq_tokens(id).is_none()),
+                    Err(KvError::OutOfPages { needed, free }) => {
+                        assert_eq!(needed, host_held);
+                        assert!(free < host_held, "atomic failure must be real");
+                        assert_eq!(
+                            kv.seq_host_pages(id),
+                            host_held,
+                            "failed restore moved pages"
+                        );
+                    }
+                    Err(e) => panic!("unexpected swap_in error {e:?}"),
+                }
             }
             _ => {
                 // External release of one previously retained page.
@@ -179,7 +289,17 @@ fn drive_ops(
         kv.check_invariants().expect("pool invariant violated");
         let s = kv.stats();
         assert!(s.occupancy <= 1.0, "occupancy over capacity");
-        assert_eq!(s.live_pages + s.free_pages, s.capacity_pages, "page leak");
+        // Device frames: live-on-device + free == capacity (host-resident
+        // pages hold host frames, not device ones).
+        assert_eq!(
+            s.live_pages - s.host_live_pages + s.free_pages,
+            s.capacity_pages,
+            "device frame leak"
+        );
+        assert!(
+            s.host_live_pages <= s.host_capacity_pages,
+            "host overcommit"
+        );
         assert_eq!(s.allocated_total, s.freed_total + s.live_pages as u64);
     }
     (kv, retained)
@@ -188,19 +308,22 @@ fn drive_ops(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Random alloc/extend/free/preempt/share/retain/release streams never
-    /// violate the pool's conservation invariants, and draining every
-    /// survivor (sequences and external retains) afterwards returns the
-    /// pool to a fully-free, leak-free state.
+    /// Random alloc/extend/free/preempt/share/retain/release/swap streams
+    /// never violate the pool's conservation invariants (tier residency
+    /// included — every live page in exactly one tier, refcounts
+    /// surviving tier moves), and draining every survivor (sequences and
+    /// external retains) afterwards returns the pool to a fully-free,
+    /// leak-free state across both tiers.
     #[test]
     fn random_op_streams_conserve_pages(
         page_size in 1usize..32,
         pages in 1usize..256,
+        host_pages in 0usize..64,
         ids in 1u64..24,
         ops in 1usize..400,
         seed in 0u64..10_000,
     ) {
-        let (mut kv, retained) = drive_ops(page_size, pages, ids, ops, seed);
+        let (mut kv, retained) = drive_ops(page_size, pages, host_pages, ids, ops, seed);
         for id in 0..ids {
             let _ = kv.free(id);
         }
@@ -210,6 +333,7 @@ proptest! {
         let s = kv.stats();
         prop_assert!(s.conserved(), "leak after draining: {s:?}");
         prop_assert_eq!(s.free_pages, s.capacity_pages);
+        prop_assert_eq!(s.host_live_pages, 0, "host tier drained");
         prop_assert_eq!(s.used_tokens, 0);
         prop_assert_eq!(kv.shared_pages(), 0);
         kv.check_invariants().expect("pool invariant violated");
@@ -378,6 +502,58 @@ proptest! {
         prop_assert_eq!(report.prefix_hits + report.prefix_misses, trace.len());
         let ix = report.prefix.expect("index stats attached");
         prop_assert_eq!(ix.inserted_pages, ix.evicted_pages + ix.pages_held as u64);
+        prop_assert!(report.kv_peak_occupancy <= 1.0 + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// End-to-end under swap-to-host preemption on a tiny pool: random
+    /// long-output traces force eviction, and every run keeps the tiered
+    /// pool's invariants (checked every iteration — no decode step reads
+    /// a host-resident page, every page in exactly one tier) and drains
+    /// both tiers leak-free. Transfer accounting balances: pages out ≥
+    /// pages back, and whatever swapped also restored or freed.
+    #[test]
+    fn swap_to_host_decode_runs_leak_no_pages(
+        n in 1usize..20,
+        rate_centirps in 5000u64..50_000,
+        mean_out in 16u64..96,
+        host_pages in 2usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let trace = DecodeTrace::poisson(
+            &DatasetSpec::cola(),
+            &DecodeSpec::geometric(mean_out as f64, 4, 128),
+            n,
+            rate_centirps as f64 / 100.0,
+            seed,
+        );
+        let mut cfg = DecodeServeConfig::new(
+            DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
+        cfg.model.layers = 1;
+        cfg.preempt = PreemptPolicy::SwapToHost;
+        cfg.host_pages = Some(host_pages);
+        cfg.verify_invariants = true;
+        // One worst-case context (64 + 128 tokens = 12 pages) plus slim
+        // headroom: decode growth must evict, swap must engage.
+        cfg.kv_pages = Some((64usize + 128).div_ceil(cfg.page_size) + 3);
+        let report = simulate_decode_trace(&cfg, &trace);
+        prop_assert_eq!(report.requests, trace.len());
+        prop_assert!(report.kv.conserved(),
+            "swap run leaked pages: {:?}", report.kv);
+        prop_assert_eq!(report.kv.host_live_pages, 0, "host tier drained");
+        prop_assert!(report.kv.swapped_in_pages <= report.kv.swapped_out_pages);
+        if let Some(s) = report.swap {
+            prop_assert_eq!(s.out_pages, report.kv.swapped_out_pages);
+            prop_assert_eq!(s.in_pages, report.kv.swapped_in_pages);
+        }
+        // Every swap preemption ends in a restore or a demotion back to
+        // recompute (demotions are counted among the fallbacks).
+        prop_assert!(report.restores as u64 <= report.swap_preemptions);
+        prop_assert!(report.swap_preemptions - report.restores as u64
+            <= report.swap_fallbacks);
         prop_assert!(report.kv_peak_occupancy <= 1.0 + 1e-9);
     }
 }
