@@ -20,9 +20,12 @@ fn policies() -> [DecodePolicy; 2] {
 }
 
 fn cfg(policy: DecodePolicy) -> DecodeServeConfig {
-    let mut cfg = DecodeServeConfig::new(policy);
-    cfg.model.layers = 8; // keep the per-step analytic pass bench-sized
-    cfg
+    let mut model = pit_models::ModelConfig::opt("1.3B");
+    model.layers = 8; // keep the per-step analytic pass bench-sized
+    DecodeServeConfig::builder(model, pit_gpusim::DeviceSpec::a100_80gb())
+        .policy(policy)
+        .build()
+        .expect("valid bench config")
 }
 
 fn bench_decode(c: &mut Criterion) {

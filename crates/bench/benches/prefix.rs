@@ -50,10 +50,13 @@ fn bench_prefix(c: &mut Criterion) {
             arrivals.arrival_s.clone(),
             23,
         );
-        let mut cfg =
-            DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
-        cfg.model.layers = 2;
-        cfg.prefix_caching = true;
+        let mut model = pit_models::ModelConfig::opt("1.3B");
+        model.layers = 2;
+        let cfg = DecodeServeConfig::builder(model, pit_gpusim::DeviceSpec::a100_80gb())
+            .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+            .prefix_caching(true)
+            .build()
+            .expect("valid bench config");
         let r = simulate_decode_trace(&cfg, &trace);
         println!(
             "prefix/sweep pool={pool} zipf={zipf}: hit rate {:.0}%, \

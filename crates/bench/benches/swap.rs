@@ -25,18 +25,21 @@ use pit_swap::{plan_swap_out, PageDesc};
 use pit_workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
 
 fn pressured_cfg(preempt: PreemptPolicy, pcie_gbps: f64) -> DecodeServeConfig {
-    let mut cfg = DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 256 });
     // OPT-13B widths put the crossover inside the swept band: re-prefill
     // FLOPs per KV byte grow with hidden size, so wider models forgive
     // slower links. Depth is capped to keep the analytic pass fast —
     // prefill cost and page bytes both scale linearly with layers, so
     // the crossover bandwidth is depth-invariant.
-    cfg.model = pit_models::ModelConfig::opt("13B");
-    cfg.model.layers = 2;
-    cfg.kv_pages = Some(128);
-    cfg.preempt = preempt;
-    cfg.device.pcie_gbps = pcie_gbps;
-    cfg
+    let mut model = pit_models::ModelConfig::opt("13B");
+    model.layers = 2;
+    let mut device = pit_gpusim::DeviceSpec::a100_80gb();
+    device.pcie_gbps = pcie_gbps;
+    DecodeServeConfig::builder(model, device)
+        .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 256 })
+        .kv_pages(128)
+        .preempt(preempt)
+        .build()
+        .expect("valid bench config")
 }
 
 fn bench_swap(c: &mut Criterion) {

@@ -67,6 +67,11 @@ pub enum KvError {
     /// `extend` on a sequence holding host-resident pages — swapped-out
     /// KV cannot be written until `swap_in` restores it.
     SwappedOut(SeqId),
+    /// `release_seq_pages` referenced a page the sequence cannot evict:
+    /// not in its page table, listed twice, host-resident, or not a fully
+    /// written interior page (the partially filled tail is still being
+    /// appended to).
+    InvalidEvict,
 }
 
 impl fmt::Display for KvError {
@@ -85,6 +90,13 @@ impl fmt::Display for KvError {
                 write!(f, "swap pages must be exclusively held and device-resident")
             }
             KvError::SwappedOut(s) => write!(f, "sequence {s} holds host-resident pages"),
+            KvError::InvalidEvict => {
+                write!(
+                    f,
+                    "evicted pages must be fully written, device-resident interior pages of \
+                     the sequence"
+                )
+            }
         }
     }
 }
@@ -159,6 +171,7 @@ pub struct PagedKvCache {
     shared_admits: u64,
     swapped_out_total: u64,
     swapped_in_total: u64,
+    sparsity_evicted: u64,
 }
 
 impl PagedKvCache {
@@ -190,6 +203,7 @@ impl PagedKvCache {
             shared_admits: 0,
             swapped_out_total: 0,
             swapped_in_total: 0,
+            sparsity_evicted: 0,
         }
     }
 
@@ -554,6 +568,78 @@ impl PagedKvCache {
         Ok(host.len())
     }
 
+    /// Drops `seq`'s references to `pages` — a KV-sparsity policy
+    /// (StreamingLLM/H2O-style retention in `pit_serve`) compacting a
+    /// sequence's cache by evicting interior pages whose tokens the
+    /// sequence will no longer attend. The pages leave the sequence's page
+    /// table (order of the survivors preserved) and its cached context
+    /// shrinks by `page_size` tokens per page; *physical* frames return to
+    /// the free list only at refcount zero, so shared prefix pages and
+    /// index-pinned pages survive for their other holders.
+    ///
+    /// Every listed page must be in the sequence's table, device-resident,
+    /// listed once, and a *fully written interior* page — the partially
+    /// filled tail is still being appended to, and a host-resident page is
+    /// frozen storage a restore still needs. Fails atomically with
+    /// [`KvError::InvalidEvict`] otherwise. Returns the pages physically
+    /// freed (`<= pages.len()` when some were shared or pinned).
+    pub fn release_seq_pages(&mut self, seq: SeqId, pages: &[PageId]) -> Result<usize, KvError> {
+        if pages.is_empty() {
+            return Ok(0);
+        }
+        let ps = self.cfg.page_size;
+        let drop_at: Vec<bool> = {
+            let s = self.seqs.get(&seq).ok_or(KvError::UnknownSeq(seq))?;
+            let mut position: HashMap<PageId, usize> = HashMap::with_capacity(s.pages.len());
+            for (i, &p) in s.pages.iter().enumerate() {
+                position.insert(p, i);
+            }
+            let mut drop_at = vec![false; s.pages.len()];
+            for &p in pages {
+                let Some(&pos) = position.get(&p) else {
+                    return Err(KvError::InvalidEvict);
+                };
+                if drop_at[pos]
+                    || (pos + 1) * ps > s.used_tokens
+                    || self.location[p as usize] != PageLocation::Device
+                {
+                    return Err(KvError::InvalidEvict);
+                }
+                drop_at[pos] = true;
+            }
+            drop_at
+        };
+        let evicted = pages.len();
+        let dropped: Vec<PageId> = {
+            let s = self.seqs.get_mut(&seq).expect("checked above");
+            let mut kept = Vec::with_capacity(s.pages.len() - evicted);
+            let mut dropped = Vec::with_capacity(evicted);
+            for (i, &p) in s.pages.iter().enumerate() {
+                if drop_at[i] {
+                    dropped.push(p);
+                } else {
+                    kept.push(p);
+                }
+            }
+            s.pages = kept;
+            // Each evicted page held exactly `page_size` of the sequence's
+            // cached (and reserved) slots, so both extents shrink page-
+            // aligned and the tail page's partial fill is untouched.
+            s.used_tokens -= evicted * ps;
+            s.reserved_tokens -= evicted * ps;
+            dropped
+        };
+        self.reserved_tokens -= evicted * ps;
+        let mut freed = 0;
+        for &p in &dropped {
+            if self.drop_ref(p) {
+                freed += 1;
+            }
+        }
+        self.sparsity_evicted += evicted as u64;
+        Ok(freed)
+    }
+
     /// Drops this sequence's reference to every page it holds (request
     /// completed); pages return to the free list only at refcount zero.
     /// Returns the pages physically freed; a second `free` of the same
@@ -719,6 +805,7 @@ impl PagedKvCache {
             shared_pages: self.shared_pages(),
             cow_copies: self.cow_copies,
             shared_admits: self.shared_admits,
+            sparsity_evicted_pages: self.sparsity_evicted,
         }
     }
 
@@ -884,7 +971,7 @@ impl PagedKvCache {
 }
 
 /// Point-in-time snapshot of the pool's counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct KvStats {
     /// Token slots per page.
     pub page_size: usize,
@@ -929,6 +1016,10 @@ pub struct KvStats {
     pub cow_copies: u64,
     /// Sequences admitted onto shared prefix pages.
     pub shared_admits: u64,
+    /// Page references dropped by KV-sparsity eviction
+    /// (`release_seq_pages`); shared/pinned pages count here even though
+    /// their frames survive for other holders.
+    pub sparsity_evicted_pages: u64,
 }
 
 impl KvStats {
@@ -966,6 +1057,13 @@ impl fmt::Display for KvStats {
                 self.peak_host_live_pages,
                 self.swapped_out_pages,
                 self.swapped_in_pages,
+            )?;
+        }
+        if self.sparsity_evicted_pages > 0 {
+            write!(
+                f,
+                "; {} pages sparsity-evicted",
+                self.sparsity_evicted_pages
             )?;
         }
         Ok(())
@@ -1089,6 +1187,86 @@ mod tests {
         assert!(text.contains("preemptions"));
         assert!(text.contains("shared"));
         assert!(text.contains("cow"));
+    }
+
+    #[test]
+    fn sparsity_release_compacts_and_frees() {
+        let mut kv = pool(16, 8);
+        kv.alloc(1, 50).unwrap(); // 3 full pages + 2-token tail
+        let pages = kv.seq_pages(1).unwrap().to_vec();
+        assert_eq!(pages.len(), 4);
+        let free_before = kv.free_pages();
+        // Evict the middle two interior pages; sink and tail survive.
+        assert_eq!(kv.release_seq_pages(1, &pages[1..3]).unwrap(), 2);
+        assert_eq!(kv.seq_tokens(1), Some(50 - 32));
+        assert_eq!(kv.seq_pages(1).unwrap(), &[pages[0], pages[3]]);
+        assert_eq!(kv.free_pages(), free_before + 2);
+        assert_eq!(kv.stats().sparsity_evicted_pages, 2);
+        kv.check_invariants().unwrap();
+        // The compacted tail keeps growing page-aligned.
+        assert_eq!(kv.extend(1, 14).unwrap(), 0); // fills the tail to 32
+        assert_eq!(kv.extend(1, 1).unwrap(), 1);
+        kv.free(1).unwrap();
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sparsity_release_never_frees_shared_or_pinned_frames() {
+        let mut kv = pool(16, 8);
+        kv.alloc(1, 48).unwrap();
+        let pages = kv.seq_pages(1).unwrap().to_vec();
+        // Page 0 shared with seq 2, page 1 pinned by an external index.
+        kv.alloc_shared(2, &pages[..1], 16).unwrap();
+        kv.retain_pages(&pages[1..2]).unwrap();
+        // Both references drop, neither frame is freed.
+        assert_eq!(kv.release_seq_pages(1, &pages[..2]).unwrap(), 0);
+        assert_eq!(kv.page_refs(pages[0]), 1);
+        assert_eq!(kv.page_refs(pages[1]), 1);
+        assert_eq!(kv.seq_tokens(1), Some(16));
+        assert_eq!(kv.stats().sparsity_evicted_pages, 2);
+        kv.check_invariants().unwrap();
+        kv.free(1).unwrap();
+        kv.free(2).unwrap();
+        assert_eq!(kv.release_pages(&pages[1..2]).unwrap(), 1);
+        assert!(kv.stats().conserved());
+        kv.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sparsity_release_rejects_illegal_pages_atomically() {
+        let mut kv = PagedKvCache::new(KvConfig::new(16, 8).with_host_pages(2));
+        kv.alloc(1, 40).unwrap(); // 2 full pages + 8-token tail
+        kv.alloc(2, 16).unwrap();
+        let pages = kv.seq_pages(1).unwrap().to_vec();
+        let foreign = kv.seq_pages(2).unwrap()[0];
+        // Partially filled tail, foreign page, duplicates: all rejected.
+        assert_eq!(
+            kv.release_seq_pages(1, &[pages[2]]),
+            Err(KvError::InvalidEvict)
+        );
+        assert_eq!(
+            kv.release_seq_pages(1, &[foreign]),
+            Err(KvError::InvalidEvict)
+        );
+        assert_eq!(
+            kv.release_seq_pages(1, &[pages[0], pages[0]]),
+            Err(KvError::InvalidEvict)
+        );
+        assert_eq!(
+            kv.release_seq_pages(9, &[pages[0]]),
+            Err(KvError::UnknownSeq(9))
+        );
+        // Host-resident pages are frozen storage: not evictable.
+        kv.swap_out(1, &pages[..1]).unwrap();
+        assert_eq!(
+            kv.release_seq_pages(1, &[pages[0]]),
+            Err(KvError::InvalidEvict)
+        );
+        // Nothing changed: failed calls are atomic.
+        assert_eq!(kv.seq_tokens(1), Some(40));
+        assert_eq!(kv.stats().sparsity_evicted_pages, 0);
+        kv.check_invariants().unwrap();
     }
 
     #[test]

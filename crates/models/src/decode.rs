@@ -7,8 +7,17 @@
 //! its GEMMs run at `m = 1` per request (so a batch of `b` requests is an
 //! `m = b` GEMM only if the runtime packs them — exactly the
 //! padding-free-vs-rectangle argument again), and its attention reads the
-//! whole cached context per request, linear in context length and
-//! memory-bound on the K/V stream.
+//! cached context it *attends*, linear in that length and memory-bound on
+//! the K/V stream.
+//!
+//! Under a dynamic KV-sparsity policy (StreamingLLM/H2O-style retention in
+//! `pit_serve`) the attended set is a ragged per-sequence subset of the
+//! cache, so each decode slot carries an `(attended, cached)` pair
+//! ([`DecodeSlot`]). A PIT runtime packs the sparse K/V row set
+//! permutation-invariantly into dense `(32, 1)` micro-tiles (Algorithm 1),
+//! so the streamed volume is the attended rows rounded up per slot to
+//! [`KV_MICROTILE_ROWS`] — never the full cached context a padded layout
+//! would read.
 //!
 //! [`StepShape`] describes one mixed iteration — which prompt lengths are
 //! being prefilled and which cached context lengths are being decoded —
@@ -18,6 +27,58 @@
 
 use crate::configs::ModelConfig;
 use crate::engine::Engine;
+
+/// Rows of the K/V micro-tile PIT packs sparse attention reads into: the
+/// `(32, 1)` micro-tile of the paper's Table 3 (see
+/// `pit_core::microtile::PitRule`). A slot attending `a` cached tokens
+/// streams `ceil(a / 32) · 32` K/V rows — at most 31 rows of slack,
+/// independent of how large the *cached* context is.
+pub const KV_MICROTILE_ROWS: usize = 32;
+
+/// One decode slot's attention extent: `attended` is the cached tokens the
+/// slot's query actually reads this step (its policy-retained set),
+/// `cached` the tokens resident in its KV allocation. Dense decoding has
+/// `attended == cached`; a sparsity policy keeps `attended <= cached`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeSlot {
+    /// Cached tokens this slot's query token attends.
+    pub attended: usize,
+    /// Tokens resident in this slot's KV-cache allocation.
+    pub cached: usize,
+}
+
+impl DecodeSlot {
+    /// A dense slot attending its whole cached context.
+    pub fn dense(ctx: usize) -> Self {
+        DecodeSlot {
+            attended: ctx,
+            cached: ctx,
+        }
+    }
+
+    /// A sparse slot attending `attended` of `cached` resident tokens.
+    ///
+    /// # Panics
+    /// When `attended > cached` — a slot cannot attend rows it no longer
+    /// caches.
+    pub fn sparse(attended: usize, cached: usize) -> Self {
+        assert!(
+            attended <= cached,
+            "attended ({attended}) exceeds cached ({cached})"
+        );
+        DecodeSlot { attended, cached }
+    }
+
+    /// Attended rows rounded up to whole `(tile, 1)` micro-tiles — the
+    /// K/V rows a PIT gather actually streams for this slot.
+    pub fn packed_rows(&self, tile: usize) -> usize {
+        if self.attended == 0 {
+            0
+        } else {
+            self.attended.div_ceil(tile) * tile
+        }
+    }
+}
 
 /// Work of one serving iteration: prefill sequences entering the batch
 /// plus decode slots continuing it. Lengths are *effective* (what the GPU
@@ -34,10 +95,10 @@ pub struct StepShape {
     /// inter-token latency). A fresh whole prompt of length `l` is the
     /// chunk `(l, l)`.
     pub chunks: Vec<(usize, usize)>,
-    /// Per-slot cached context lengths attended by this step's decode
-    /// tokens (one query token per slot; a padded runtime keeps finished
-    /// requests' slots in here at the rectangle's context length).
-    pub decode_ctx: Vec<usize>,
+    /// Per-slot attention extents for this step's decode tokens (one query
+    /// token per slot; a padded runtime keeps finished requests' slots in
+    /// here at the rectangle's context length).
+    pub decode: Vec<DecodeSlot>,
 }
 
 impl StepShape {
@@ -46,23 +107,28 @@ impl StepShape {
         StepShape {
             prefill_lens: lens,
             chunks: Vec::new(),
-            decode_ctx: Vec::new(),
+            decode: Vec::new(),
         }
     }
 
-    /// A pure-decode step.
+    /// A pure-decode step of dense slots (each attends its whole context).
     pub fn decode(ctx: Vec<usize>) -> Self {
+        Self::decode_sparse(ctx.into_iter().map(DecodeSlot::dense).collect())
+    }
+
+    /// A pure-decode step over explicit `(attended, cached)` slots.
+    pub fn decode_sparse(slots: Vec<DecodeSlot>) -> Self {
         StepShape {
             prefill_lens: Vec::new(),
             chunks: Vec::new(),
-            decode_ctx: ctx,
+            decode: slots,
         }
     }
 
     /// Rows of the step's token-granular GEMMs: every prefill and chunk
     /// token plus one query token per decode slot.
     pub fn rows(&self) -> usize {
-        self.prefill_tokens() + self.chunk_tokens() + self.decode_ctx.len()
+        self.prefill_tokens() + self.chunk_tokens() + self.decode.len()
     }
 
     /// Tokens prefilled whole this step.
@@ -77,30 +143,53 @@ impl StepShape {
 
     /// Decode slots (= decode query tokens) this step.
     pub fn decode_slots(&self) -> usize {
-        self.decode_ctx.len()
+        self.decode.len()
+    }
+
+    /// Cached tokens this step's decode slots attend (`Σ attended`).
+    pub fn attended_tokens(&self) -> usize {
+        self.decode.iter().map(|s| s.attended).sum()
+    }
+
+    /// Tokens resident in this step's decode-slot KV allocations
+    /// (`Σ cached`) — what a padded layout would stream.
+    pub fn cached_tokens(&self) -> usize {
+        self.decode.iter().map(|s| s.cached).sum()
+    }
+
+    /// Micro-tile-packed decode K/V rows: each slot's attended set rounded
+    /// up to whole `(tile, 1)` micro-tiles (PIT Algorithm-1 packing of the
+    /// ragged retained row sets).
+    pub fn packed_decode_tokens(&self, tile: usize) -> usize {
+        self.decode.iter().map(|s| s.packed_rows(tile)).sum()
+    }
+
+    /// Micro-tiles the packed decode gather touches — the SRead index
+    /// entries a PIT runtime builds per step.
+    pub fn decode_microtiles(&self, tile: usize) -> usize {
+        self.decode.iter().map(|s| s.attended.div_ceil(tile)).sum()
     }
 
     /// True when the step carries no work.
     pub fn is_empty(&self) -> bool {
-        self.prefill_lens.is_empty() && self.chunks.is_empty() && self.decode_ctx.is_empty()
+        self.prefill_lens.is_empty() && self.chunks.is_empty() && self.decode.is_empty()
     }
 
     /// Attention-score elements this step computes: `Σ l²` over whole
-    /// prefills, `Σ chunk·ctx` over chunks, `Σ ctx` over decode slots.
+    /// prefills, `Σ chunk·ctx` over chunks, `Σ attended` over decode slots
+    /// (scores are only computed against attended keys).
     pub fn score_elems(&self) -> f64 {
         let prefill: f64 = self.prefill_lens.iter().map(|&l| (l * l) as f64).sum();
         let chunked: f64 = self.chunks.iter().map(|&(c, ctx)| (c * ctx) as f64).sum();
-        let decode: f64 = self.decode_ctx.iter().map(|&c| c as f64).sum();
-        prefill + chunked + decode
+        prefill + chunked + self.attended_tokens() as f64
     }
 
     /// Cached tokens this step streams from the KV cache: every decode
-    /// slot reads its whole context; every chunk reads the tokens cached
-    /// *before* it (its own rows are still in registers/SMEM).
+    /// slot reads the context it attends; every chunk reads the tokens
+    /// cached *before* it (its own rows are still in registers/SMEM).
     pub fn kv_read_tokens(&self) -> usize {
-        let decode: usize = self.decode_ctx.iter().sum();
         let chunked: usize = self.chunks.iter().map(|&(c, ctx)| ctx - c).sum();
-        decode + chunked
+        self.attended_tokens() + chunked
     }
 
     /// New tokens whose K/V rows this step appends to the cache.
@@ -113,26 +202,42 @@ impl StepShape {
 /// attention + FFN over the step's mixed prefill/decode shape, and the LM
 /// head — to `eng`.
 ///
-/// Decode attention is priced per slot as two `1 × ctx` GEMV-like products
-/// (scores and context) whose arithmetic is `2 · ctx · hidden` FLOPs each
-/// but whose latency is dominated by streaming the cached K and V
-/// (`2 · ctx · hidden` elements) from HBM; `gemm_flops`' memory bound
-/// models exactly that, which is why inter-token latency grows with
-/// context length even though per-token FLOPs are tiny.
+/// Decode attention is priced per slot as two `1 × a` GEMV-like products
+/// (scores and context, `a` = the slot's attended extent) whose arithmetic
+/// is `2 · a · hidden` FLOPs each but whose latency is dominated by
+/// streaming the attended K and V rows from HBM; `gemm_flops`' memory
+/// bound models exactly that, which is why inter-token latency grows with
+/// (attended) context length even though per-token FLOPs are tiny.
+///
+/// The streamed decode volume depends on the engine's framework: a PIT
+/// variant gathers the attended rows micro-tile-packed
+/// ([`StepShape::packed_decode_tokens`] — cost scales with *attended*
+/// tokens, slack ≤ 31 rows per slot), while a padded layout has no gather
+/// and must stream each slot's whole *cached* context.
 pub fn run_step(eng: &mut Engine, cfg: &ModelConfig, shape: &StepShape) {
     let rows = shape.rows();
     if rows == 0 {
         return;
     }
     let elem = eng.elem() as f64;
-    let score_elems = shape.score_elems();
-    let kv_tokens = shape.kv_read_tokens();
+    // Decode K/V rows actually streamed: packed-attended under PIT,
+    // whole-cached under padded layouts.
+    let decode_kv = if eng.framework.is_pit() {
+        shape.packed_decode_tokens(KV_MICROTILE_ROWS)
+    } else {
+        shape.cached_tokens()
+    };
+    let chunk_reads: usize = shape.chunks.iter().map(|&(c, ctx)| ctx - c).sum();
+    let kv_tokens = decode_kv + chunk_reads;
+    let prefill_sq: f64 = shape.prefill_lens.iter().map(|&l| (l * l) as f64).sum();
+    let chunk_sc: f64 = shape.chunks.iter().map(|&(c, ctx)| (c * ctx) as f64).sum();
+    let score_elems = prefill_sq + chunk_sc + decode_kv as f64;
     eng.elementwise("embed", rows * cfg.hidden, 1);
     for layer in 0..cfg.layers {
         let p = format!("l{layer}");
         eng.gemm(&format!("{p}.qkv"), rows, cfg.hidden, 3 * cfg.hidden);
         // Scores + context: quadratic for prefill sequences, linear in the
-        // cached context for decode slots.
+        // attended (PIT) or cached (padded) context for decode slots.
         let score_flops = 2.0 * score_elems * cfg.hidden as f64;
         // Prefill reads its score tile per head; decode additionally
         // streams the K (scores) or V (context) cache rows it attends.
@@ -191,12 +296,17 @@ mod tests {
         let s = StepShape {
             prefill_lens: vec![30, 10],
             chunks: vec![(16, 80)],
-            decode_ctx: vec![100, 7, 64],
+            decode: vec![100, 7, 64]
+                .into_iter()
+                .map(DecodeSlot::dense)
+                .collect(),
         };
         assert_eq!(s.rows(), 40 + 16 + 3);
         assert_eq!(s.prefill_tokens(), 40);
         assert_eq!(s.chunk_tokens(), 16);
         assert_eq!(s.decode_slots(), 3);
+        assert_eq!(s.attended_tokens(), 171);
+        assert_eq!(s.cached_tokens(), 171);
         // Decode reads whole contexts; the chunk reads its 64 prior rows.
         assert_eq!(s.kv_read_tokens(), 171 + 64);
         assert_eq!(s.kv_write_tokens(), 40 + 16 + 3);
@@ -205,6 +315,32 @@ mod tests {
             (900 + 100) as f64 + (16 * 80) as f64 + 171.0
         );
         assert!(StepShape::default().is_empty());
+    }
+
+    #[test]
+    fn sparse_slot_accounting() {
+        let s = StepShape::decode_sparse(vec![
+            DecodeSlot::sparse(96, 1024),
+            DecodeSlot::sparse(33, 512),
+            DecodeSlot::dense(64),
+        ]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.attended_tokens(), 96 + 33 + 64);
+        assert_eq!(s.cached_tokens(), 1024 + 512 + 64);
+        // Packing rounds each slot up to whole (32, 1) micro-tiles.
+        assert_eq!(s.packed_decode_tokens(32), 96 + 64 + 64);
+        assert_eq!(s.decode_microtiles(32), 3 + 2 + 2);
+        // Score elements follow attended, not cached.
+        assert_eq!(s.score_elems(), (96 + 33 + 64) as f64);
+        assert_eq!(s.kv_read_tokens(), 96 + 33 + 64);
+        // One append per slot regardless of sparsity.
+        assert_eq!(s.kv_write_tokens(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "attended")]
+    fn sparse_slot_rejects_attended_beyond_cached() {
+        DecodeSlot::sparse(65, 64);
     }
 
     #[test]
@@ -219,7 +355,7 @@ mod tests {
                 StepShape {
                     prefill_lens: vec![],
                     chunks: vec![(64, 64 * i)],
-                    decode_ctx: vec![],
+                    decode: vec![],
                 }
                 .score_elems()
             })
@@ -239,6 +375,37 @@ mod tests {
         let short = step_ms(&StepShape::decode(vec![64; 8]));
         let long = step_ms(&StepShape::decode(vec![2048; 8]));
         assert!(long > short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn sparse_decode_cost_scales_with_attended_not_cached() {
+        // 8 slots each caching 16k tokens but attending only 256: the
+        // micro-tile-packed gather streams the attended rows, so the step
+        // prices exactly like a dense 256-context step and far below the
+        // dense 16k-context one.
+        let sparse = step_ms(&StepShape::decode_sparse(vec![
+            DecodeSlot::sparse(
+                256, 16384
+            );
+            8
+        ]));
+        let dense_short = step_ms(&StepShape::decode(vec![256; 8]));
+        let dense_long = step_ms(&StepShape::decode(vec![16384; 8]));
+        assert_eq!(sparse, dense_short, "packed gather prices attended rows");
+        assert!(sparse < dense_long * 0.5, "sparse {sparse} vs {dense_long}");
+    }
+
+    #[test]
+    fn padded_framework_pays_cached_context() {
+        // Without PIT's gather the same sparse shape streams the whole
+        // cached context — sparsity saves nothing under a padded layout.
+        let shape = StepShape::decode_sparse(vec![DecodeSlot::sparse(256, 2048); 8]);
+        let dense = StepShape::decode(vec![2048; 8]);
+        let mut p1 = Engine::new(DeviceSpec::a100_80gb(), DType::F32, Framework::PyTorch);
+        run_step(&mut p1, &cfg(), &shape);
+        let mut p2 = Engine::new(DeviceSpec::a100_80gb(), DType::F32, Framework::PyTorch);
+        run_step(&mut p2, &cfg(), &dense);
+        assert_eq!(p1.latency_ms(), p2.latency_ms());
     }
 
     #[test]
@@ -270,7 +437,7 @@ mod tests {
         let mixed = StepShape {
             prefill_lens: prefill.prefill_lens.clone(),
             chunks: Vec::new(),
-            decode_ctx: decode.decode_ctx.clone(),
+            decode: decode.decode.clone(),
         };
         let m = step_ms(&mixed);
         assert!(m > step_ms(&prefill));

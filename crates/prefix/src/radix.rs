@@ -413,7 +413,7 @@ fn check_rec(
 }
 
 /// Point-in-time snapshot of the index's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct PrefixStats {
     /// Prefix lookups performed.
     pub lookups: u64,

@@ -25,8 +25,10 @@
 //! - [`decode`] — decode-phase continuous batching over `pit_kv`'s paged
 //!   KV cache: requests prefill once then rejoin the batch every
 //!   iteration, scheduled under a token budget *and* a KV-page budget,
-//!   against a static-padded rectangle baseline. With
-//!   `DecodeServeConfig::prefix_caching` on, admission consults
+//!   against a static-padded rectangle baseline. Runs are configured
+//!   through the validated [`DecodeServeConfig::builder`] — inconsistent
+//!   combinations are [`decode::ConfigError`]s at construction, not
+//!   panics mid-run. With prefix caching on, admission consults
 //!   `pit_prefix`'s radix index, shares matched prompt pages
 //!   (refcounted), prefills only the suffix, and publishes completed
 //!   prompts back to the index; index LRU leaves are evicted when decode
@@ -34,13 +36,19 @@
 //!   [`decode::PreemptPolicy`] picks what eviction costs: recompute
 //!   (vLLM-style re-prefill) or swap-to-host (`pit_swap` — victim pages
 //!   cross the PCIe link into `pit_kv`'s host tier and stream back on
-//!   re-admission, restore latency overlapping later batches).
+//!   re-admission, restore latency overlapping later batches). A
+//!   per-sequence [`decode::KvSparsityPolicy`] (StreamingLLM sink+window,
+//!   H2O heavy hitters) trims each decode slot's attention read set and
+//!   evicts pages outside the retained set, so attention cost scales
+//!   with attended — not cached — tokens and the smaller footprint
+//!   means fewer preemptions at equal KV budget.
 //! - [`metrics`] — p50/p95/p99 latency, tokens/s on the modelled device,
 //!   padding-waste ratio, queue depth, rejected-request count and cache
 //!   hit rate in [`ServingReport`]; TTFT/inter-token percentiles (TTFT
 //!   split by prefix-cache hit/miss), prefix hit rate and cache-served
-//!   prompt tokens, KV occupancy, fragmentation and preemptions in
-//!   [`DecodeReport`].
+//!   prompt tokens, KV occupancy, fragmentation, preemptions and
+//!   attended-vs-cached attention footprint in [`DecodeReport`], which
+//!   serializes whole via `DecodeReport::to_json`.
 
 pub mod decode;
 pub mod metrics;
@@ -48,7 +56,10 @@ pub mod queue;
 pub mod runtime;
 pub mod scheduler;
 
-pub use decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig, PreemptPolicy};
+pub use decode::{
+    simulate_decode_trace, ConfigError, DecodePolicy, DecodeServeConfig, DecodeServeConfigBuilder,
+    KvSparsityPolicy, PreemptPolicy,
+};
 pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles, ServingReport};
 pub use queue::BoundedQueue;
 pub use runtime::{

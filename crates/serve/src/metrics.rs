@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// p50/p95/p99 of a latency sample (seconds).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct Percentiles {
     /// Median.
     pub p50: f64,
@@ -49,7 +49,7 @@ impl Percentiles {
 }
 
 /// JIT-cache counters at the end of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
@@ -262,6 +262,10 @@ pub struct DecodeMetrics {
     occupancy_sum: f64,
     occupancy_peak: f64,
     fragmentation_sum: f64,
+    attended_tokens: usize,
+    cached_ctx_tokens: usize,
+    sparsity_dropped_pages: u64,
+    sparsity_freed_pages: u64,
     prefix_hits: usize,
     prefix_misses: usize,
     prefix_cached_tokens: usize,
@@ -269,6 +273,7 @@ pub struct DecodeMetrics {
     swap_preemptions: u64,
     swap_fallbacks: u64,
     recompute_tokens_saved: usize,
+    recompute_rework_tokens: usize,
     restore_s: Vec<f64>,
     host_occupancy_sum: f64,
     host_occupancy_peak: f64,
@@ -304,6 +309,33 @@ impl DecodeMetrics {
         self.occupancy_sum += kv_occupancy;
         self.occupancy_peak = self.occupancy_peak.max(kv_occupancy);
         self.fragmentation_sum += kv_fragmentation;
+    }
+
+    /// Records one iteration's decode-attention footprint: the KV tokens
+    /// each slot actually attended (post-sparsity) versus the tokens it
+    /// holds cached. Equal under the dense policy; attended < cached once
+    /// a KV-sparsity policy trims the read set.
+    pub fn record_attention(&mut self, attended: usize, cached: usize) {
+        self.attended_tokens += attended;
+        self.cached_ctx_tokens += cached;
+    }
+
+    /// Records one sparsity-eviction pass over a sequence: `dropped` pages
+    /// left its page table, of which `freed` returned to the device pool
+    /// (the rest stayed resident for other holders — prefix pins or
+    /// shared-prefix siblings).
+    pub fn record_sparsity_eviction(&mut self, dropped: usize, freed: usize) {
+        self.sparsity_dropped_pages += dropped as u64;
+        self.sparsity_freed_pages += freed as u64;
+    }
+
+    /// Records prefill rows that re-derived KV a recompute preemption
+    /// discarded. They were already counted by `record_step` (they cost
+    /// GPU time like any other row); this moves them from served work to
+    /// overhead so the reported `real_tokens` — and `tokens_per_s` —
+    /// stay goodput.
+    pub fn record_recompute_rework(&mut self, tokens: usize) {
+        self.recompute_rework_tokens += tokens;
     }
 
     /// Records one request's time-to-first-token (seconds from arrival),
@@ -396,7 +428,8 @@ impl DecodeMetrics {
             iterations: self.iterations,
             prefill_tokens: self.prefill_tokens,
             decode_tokens: self.decode_tokens,
-            real_tokens: self.real_tokens,
+            real_tokens: self.real_tokens - self.recompute_rework_tokens,
+            recomputed_tokens: self.recompute_rework_tokens,
             processed_tokens: self.processed_tokens,
             gpu_time_s: self.gpu_time_s,
             ttft: Percentiles::from_unsorted(self.ttft_s),
@@ -404,6 +437,10 @@ impl DecodeMetrics {
             ttft_miss: Percentiles::from_unsorted(self.ttft_miss_s),
             itl: Percentiles::from_unsorted(self.itl_s),
             e2e: Percentiles::from_unsorted(self.e2e_s),
+            attended_tokens: self.attended_tokens,
+            cached_ctx_tokens: self.cached_ctx_tokens,
+            sparsity_dropped_pages: self.sparsity_dropped_pages,
+            sparsity_freed_pages: self.sparsity_freed_pages,
             prefix_hits: self.prefix_hits,
             prefix_misses: self.prefix_misses,
             prefix_cached_tokens: self.prefix_cached_tokens,
@@ -427,7 +464,7 @@ impl DecodeMetrics {
 }
 
 /// Everything one decode serving run produced.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct DecodeReport {
     /// Decode policy name.
     pub policy: String,
@@ -435,13 +472,20 @@ pub struct DecodeReport {
     pub requests: usize,
     /// Iterations (mixed prefill/decode steps) executed.
     pub iterations: usize,
-    /// Real prompt tokens prefilled (re-prefills after preemption count
-    /// again — recompute is real work).
+    /// Prompt rows run through the prefill path (re-prefills after a
+    /// recompute preemption count again — they cost GPU time again).
     pub prefill_tokens: usize,
     /// Real decode rows processed (one per live request per iteration).
     pub decode_tokens: usize,
-    /// `prefill_tokens + decode_tokens`.
+    /// Served tokens: `prefill_tokens + decode_tokens` minus
+    /// `recomputed_tokens`. Every trace token counts exactly once, so
+    /// `tokens_per_s` is goodput — a policy cannot look faster by
+    /// re-deriving KV it threw away.
     pub real_tokens: usize,
+    /// Context rows re-prefilled after recompute preemption: KV the
+    /// system computed, discarded under pressure, and paid to derive
+    /// again. Overhead, excluded from `real_tokens`.
+    pub recomputed_tokens: usize,
     /// Token rows the modelled GPU processed (≥ real; the rectangle).
     pub processed_tokens: usize,
     /// Modelled GPU busy seconds across all iterations.
@@ -459,6 +503,16 @@ pub struct DecodeReport {
     pub itl: Percentiles,
     /// End-to-end request latency percentiles.
     pub e2e: Percentiles,
+    /// KV tokens decode slots actually attended across all iterations
+    /// (post-sparsity read set; equals `cached_ctx_tokens` when dense).
+    pub attended_tokens: usize,
+    /// KV tokens decode slots held cached across all iterations.
+    pub cached_ctx_tokens: usize,
+    /// Pages removed from sequence page tables by KV-sparsity eviction.
+    pub sparsity_dropped_pages: u64,
+    /// Sparsity-dropped pages whose frames returned to the device pool
+    /// (≤ dropped: shared or prefix-pinned frames stay resident).
+    pub sparsity_freed_pages: u64,
     /// Admissions that matched a cached prompt prefix.
     pub prefix_hits: usize,
     /// Admissions that matched nothing (every admission when prefix
@@ -505,12 +559,16 @@ pub struct DecodeReport {
 }
 
 impl DecodeReport {
-    /// Fraction of processed token rows that were padding.
+    /// Fraction of processed token rows that were overhead — padding
+    /// under the static rectangle, recompute re-derivation under
+    /// preemption pressure.
     pub fn padding_waste(&self) -> f64 {
         pit_workloads::padding_waste(self.real_tokens, self.processed_tokens)
     }
 
-    /// Served throughput: real tokens per modelled GPU second.
+    /// Served throughput: goodput tokens per modelled GPU second
+    /// (recompute re-prefills cost time but add nothing to the
+    /// numerator).
     pub fn tokens_per_s(&self) -> f64 {
         if self.gpu_time_s <= 0.0 {
             return 0.0;
@@ -524,6 +582,21 @@ impl DecodeReport {
             return 0.0;
         }
         self.decode_tokens as f64 / self.iterations as f64
+    }
+
+    /// Fraction of cached KV tokens the decode slots actually attended
+    /// (1.0 under the dense policy or when nothing decoded).
+    pub fn attended_fraction(&self) -> f64 {
+        if self.cached_ctx_tokens == 0 {
+            return 1.0;
+        }
+        self.attended_tokens as f64 / self.cached_ctx_tokens as f64
+    }
+
+    /// The report as one JSON document (vendored serde). Callable without
+    /// importing the `Serialize` trait.
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_json(self)
     }
 
     /// Fraction of admissions that hit the prompt-prefix cache (0 when
@@ -577,6 +650,25 @@ impl fmt::Display for DecodeReport {
             self.itl.p99 * 1e3,
             self.e2e.p95 * 1e3
         )?;
+        if self.recomputed_tokens > 0 {
+            writeln!(
+                f,
+                "  recompute overhead: {} context tokens re-prefilled after preemption",
+                self.recomputed_tokens,
+            )?;
+        }
+        if self.sparsity_dropped_pages > 0 || self.attended_tokens < self.cached_ctx_tokens {
+            writeln!(
+                f,
+                "  kv sparsity: attended {:.1}% of cached context ({} / {} tokens); \
+                 {} pages evicted, {} frames freed",
+                self.attended_fraction() * 100.0,
+                self.attended_tokens,
+                self.cached_ctx_tokens,
+                self.sparsity_dropped_pages,
+                self.sparsity_freed_pages,
+            )?;
+        }
         if self.prefix_hits + self.prefix_misses > 0 {
             writeln!(
                 f,
@@ -765,6 +857,58 @@ mod tests {
         assert!(text.contains("swap preemptions"));
         assert!(text.contains("restores"));
         assert!(text.contains("host pool"));
+    }
+
+    #[test]
+    fn decode_collector_aggregates_sparsity_and_serializes() {
+        let mut m = DecodeMetrics::new();
+        m.record_step(0, 4, 4, 0.1, 0.5, 0.0);
+        m.record_attention(300, 1200);
+        m.record_attention(280, 1100);
+        m.record_sparsity_eviction(6, 4);
+        m.record_sparsity_eviction(2, 2);
+        m.record_e2e(0.05);
+        let kv = pit_kv::PagedKvCache::new(pit_kv::KvConfig::new(16, 8)).stats();
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        let r = m.report("continuous-padding-free+heavy-hitter", kv, cache);
+        assert_eq!(r.attended_tokens, 580);
+        assert_eq!(r.cached_ctx_tokens, 2300);
+        assert_eq!(r.sparsity_dropped_pages, 8);
+        assert_eq!(r.sparsity_freed_pages, 6);
+        assert!((r.attended_fraction() - 580.0 / 2300.0).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("kv sparsity"));
+        assert!(text.contains("pages evicted"));
+        // JSON round-trips the headline counters as plain fields.
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""policy":"continuous-padding-free+heavy-hitter""#));
+        assert!(json.contains(r#""attended_tokens":580"#));
+        assert!(json.contains(r#""sparsity_dropped_pages":8"#));
+        assert!(json.contains(r#""kv":{"#));
+        assert!(json.contains(r#""p50":"#));
+    }
+
+    #[test]
+    fn dense_report_attends_everything_it_caches() {
+        let mut m = DecodeMetrics::new();
+        m.record_step(0, 2, 2, 0.1, 0.5, 0.0);
+        m.record_attention(900, 900);
+        m.record_e2e(0.05);
+        let kv = pit_kv::PagedKvCache::new(pit_kv::KvConfig::new(16, 8)).stats();
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        let r = m.report("continuous-padding-free", kv, cache);
+        assert_eq!(r.attended_fraction(), 1.0);
+        assert_eq!(r.sparsity_dropped_pages, 0);
+        assert!(!r.to_string().contains("kv sparsity"));
     }
 
     #[test]

@@ -152,7 +152,7 @@ impl SwapEngine {
 }
 
 /// Point-in-time snapshot of a [`SwapEngine`]'s transfer counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct SwapStats {
     /// Bytes one page occupies on the wire.
     pub page_bytes: usize,

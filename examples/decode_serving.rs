@@ -17,6 +17,8 @@
 //! cargo run --release --example decode_serving
 //! ```
 
+use pit::gpusim::DeviceSpec;
+use pit::models::ModelConfig;
 use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
 use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
 
@@ -33,13 +35,20 @@ fn main() {
         out.mean_out,
     );
 
+    let builder = || DecodeServeConfig::builder(ModelConfig::opt("1.3B"), DeviceSpec::a100_80gb());
     let free = simulate_decode_trace(
-        &DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 128 }),
+        &builder()
+            .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+            .build()
+            .expect("valid continuous config"),
         &trace,
     );
     println!("{free}\n");
     let padded = simulate_decode_trace(
-        &DecodeServeConfig::new(DecodePolicy::StaticPadded { max_batch: 64 }),
+        &builder()
+            .policy(DecodePolicy::StaticPadded { max_batch: 64 })
+            .build()
+            .expect("valid static config"),
         &trace,
     );
     println!("{padded}\n");

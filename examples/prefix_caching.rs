@@ -23,6 +23,8 @@
 //! cargo run --release --example prefix_caching
 //! ```
 
+use pit::gpusim::DeviceSpec;
+use pit::models::ModelConfig;
 use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
 use pit::workloads::{ArrivalTrace, DatasetSpec, DecodeSpec, SharedPrefixSpec};
 
@@ -45,19 +47,17 @@ fn main() {
 
     // Equal KV budget for both policies — reuse must win inside the same
     // memory, not by spending more of it.
-    let base = {
-        let mut cfg =
-            DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
-        cfg.kv_pages = Some(2048);
-        cfg
-    };
-    let mut plain = base.clone();
-    plain.prefix_caching = false;
-    let mut cached = base.clone();
-    cached.prefix_caching = true;
+    let base = DecodeServeConfig::builder(ModelConfig::opt("1.3B"), DeviceSpec::a100_80gb())
+        .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+        .kv_pages(2048);
+    let plain = base.clone().build().expect("valid no-reuse config");
     // Acceptance mode: the refcounted pool's invariants are checked after
     // every iteration of the cached run.
-    cached.verify_invariants = true;
+    let cached = base
+        .prefix_caching(true)
+        .verify_invariants(true)
+        .build()
+        .expect("valid prefix-cached config");
 
     let no_reuse = simulate_decode_trace(&plain, &trace);
     println!("{no_reuse}\n");

@@ -31,6 +31,8 @@
 //! cargo run --release --example swap_preemption
 //! ```
 
+use pit::gpusim::DeviceSpec;
+use pit::models::ModelConfig;
 use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig, PreemptPolicy};
 use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
 
@@ -50,20 +52,22 @@ fn main() {
     // Equal device KV budget for both policies — swap must win on the
     // PCIe trade, not by holding more GPU memory. ~3.7 worst-case
     // summarization contexts: decode growth preempts constantly.
-    let base = {
-        let mut cfg =
-            DecodeServeConfig::new(DecodePolicy::ContinuousPaddingFree { token_budget: 256 });
-        cfg.kv_pages = Some(192);
-        cfg
-    };
-    let mut recompute = base.clone();
-    recompute.preempt = PreemptPolicy::Recompute;
-    let mut swap = base.clone();
-    swap.preempt = PreemptPolicy::SwapToHost;
+    let base = DecodeServeConfig::builder(ModelConfig::opt("1.3B"), DeviceSpec::a100_80gb())
+        .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 256 })
+        .kv_pages(192);
+    let recompute = base
+        .clone()
+        .preempt(PreemptPolicy::Recompute)
+        .build()
+        .expect("valid recompute config");
     // Acceptance mode: the tiered pool's invariants (single-tier
     // residency, cross-tier slot conservation, no decode read of a
     // host-resident page) are checked after every iteration.
-    swap.verify_invariants = true;
+    let swap = base
+        .preempt(PreemptPolicy::SwapToHost)
+        .verify_invariants(true)
+        .build()
+        .expect("valid swap config");
 
     let rec = simulate_decode_trace(&recompute, &trace);
     println!("{rec}\n");

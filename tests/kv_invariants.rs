@@ -3,17 +3,40 @@
 //! live), no double-frees, occupancy bounds, refcounted sharing (no page
 //! freed while referenced, copy-on-write never mutates a shared page),
 //! tiered residency under swap-out/swap-in (no double residency,
-//! refcounts survive tier moves), and end-of-run leak freedom across both
+//! refcounts survive tier moves), sparsity eviction (page-aligned
+//! shrinkage that never frees shared or pinned frames and rejects
+//! illegal picks atomically), and end-of-run leak freedom across both
 //! tiers under completion and preemption.
 
+use pit::gpusim::DeviceSpec;
 use pit::kv::{KvConfig, KvError, PageLocation, PagedKvCache};
-use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig, PreemptPolicy};
+use pit::models::ModelConfig;
+use pit::serve::decode::{
+    simulate_decode_trace, DecodePolicy, DecodeServeConfig, KvSparsityPolicy, PreemptPolicy,
+};
 use pit::workloads::{ArrivalTrace, DatasetSpec, DecodeSpec, DecodeTrace, SharedPrefixSpec};
 use proptest::prelude::*;
 
+/// The decode-runtime page size every end-to-end proptest pins, so pool
+/// sizes computed in tokens stay page-accurate.
+const PAGE_SIZE: usize = 16;
+
+/// Builder seeded like the proptests' old flat configs: depth-1 OPT-1.3B
+/// on the modelled A100 (cost-model depth is irrelevant to invariants),
+/// invariant checks after every iteration.
+fn proptest_builder(policy: DecodePolicy) -> pit::serve::decode::DecodeServeConfigBuilder {
+    let mut model = ModelConfig::opt("1.3B");
+    model.layers = 1;
+    DecodeServeConfig::builder(model, DeviceSpec::a100_80gb())
+        .policy(policy)
+        .page_size(PAGE_SIZE)
+        .verify_invariants(true)
+}
+
 /// Deterministic operation stream driver: interprets a seed as a sequence
-/// of alloc/extend/free/preempt/share/retain/release/swap operations over
-/// a bounded id space and checks the pool invariants after every step.
+/// of alloc/extend/free/preempt/share/retain/release/swap/sparsity-evict
+/// operations over a bounded id space and checks the pool invariants
+/// after every step.
 /// Returns the pool and the externally retained pages still to release
 /// (the prefix-index mirror).
 fn drive_ops(
@@ -40,7 +63,7 @@ fn drive_ops(
         let tokens = (r >> 32) as usize % (3 * page_size) + 1;
         let live_before = kv.live_pages();
         let free_before = kv.free_pages();
-        match r % 9 {
+        match r % 10 {
             0 => {
                 let was_live = kv.seq_tokens(id).is_some();
                 match kv.alloc(id, tokens) {
@@ -277,6 +300,59 @@ fn drive_ops(
                     Err(e) => panic!("unexpected swap_in error {e:?}"),
                 }
             }
+            9 => {
+                // KV-sparsity eviction: drop a subset of a live
+                // sequence's fully-written device-resident pages and
+                // check the page-aligned shrinkage; shared or pinned
+                // frames must survive for their other holders.
+                let Some(used) = kv.seq_tokens(id) else {
+                    continue;
+                };
+                let table: Vec<u32> = kv.seq_pages(id).expect("live").to_vec();
+                let full = (used / page_size).min(table.len());
+                if (r >> 20) & 1 == 1 && used % page_size != 0 && full < table.len() {
+                    // Illegal pick: the partially filled tail page. The
+                    // release must fail atomically.
+                    let tail = table[full];
+                    assert_eq!(
+                        kv.release_seq_pages(id, &[tail]),
+                        Err(KvError::InvalidEvict)
+                    );
+                    assert_eq!(kv.seq_tokens(id), Some(used), "failed evict mutated seq");
+                    assert_eq!(kv.live_pages(), live_before);
+                    continue;
+                }
+                let legal: Vec<u32> = table[..full]
+                    .iter()
+                    .copied()
+                    .filter(|&p| kv.page_location(p) == PageLocation::Device)
+                    .collect();
+                if legal.is_empty() {
+                    continue;
+                }
+                let take = (r >> 40) as usize % legal.len() + 1;
+                let picked = &legal[..take];
+                let exclusive = picked.iter().filter(|&&p| kv.page_refs(p) == 1).count();
+                let shared: Vec<(u32, u32)> = picked
+                    .iter()
+                    .map(|&p| (p, kv.page_refs(p)))
+                    .filter(|&(_, refs)| refs > 1)
+                    .collect();
+                let freed = kv
+                    .release_seq_pages(id, picked)
+                    .expect("fully-written device pages evict");
+                assert_eq!(freed, exclusive, "freed exactly the exclusive frames");
+                assert_eq!(
+                    kv.seq_tokens(id),
+                    Some(used - take * page_size),
+                    "page-aligned shrinkage"
+                );
+                assert_eq!(kv.live_pages(), live_before - freed);
+                assert_eq!(kv.free_pages(), free_before + freed);
+                for &(p, refs) in &shared {
+                    assert_eq!(kv.page_refs(p), refs - 1, "shared frame survived");
+                }
+            }
             _ => {
                 // External release of one previously retained page.
                 let Some(page) = retained.pop() else { continue };
@@ -440,15 +516,14 @@ proptest! {
             DecodePolicy::ContinuousPaddingFree { token_budget: 128 },
             DecodePolicy::StaticPadded { max_batch: 8 },
         ] {
-            let mut cfg = DecodeServeConfig::new(policy);
-            cfg.model.layers = 1; // cost model depth is irrelevant here
-            cfg.verify_invariants = true;
+            let mut builder = proptest_builder(policy);
             if tiny_pool == 1 {
                 // Just enough for one worst-case context plus headroom:
                 // forces the out-of-pages admission signal and preemption
                 // without ever making a single request unservable.
-                cfg.kv_pages = Some(2 * (128usize + 96).div_ceil(cfg.page_size) + 2);
+                builder = builder.kv_pages(2 * (128usize + 96).div_ceil(PAGE_SIZE) + 2);
             }
+            let cfg = builder.build().expect("valid proptest config");
             let report = simulate_decode_trace(&cfg, &trace);
             prop_assert_eq!(report.requests, trace.len());
             prop_assert!(report.kv.conserved(),
@@ -485,16 +560,15 @@ proptest! {
             &DatasetSpec::mnli(), n, rate_centirps as f64 / 100.0, 0.2, 0.3, seed);
         let trace = spec.decode_trace(
             &DecodeSpec::geometric(mean_out as f64, 1, 48), arrivals.arrival_s, seed);
-        let mut cfg = DecodeServeConfig::new(
-            DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
-        cfg.model.layers = 1;
-        cfg.prefix_caching = true;
-        cfg.verify_invariants = true;
+        let mut builder = proptest_builder(
+            DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+            .prefix_caching(true);
         if tiny_pool == 1 {
             // One worst-case context plus headroom: index eviction must
             // contend with decode allocation.
-            cfg.kv_pages = Some(2 * (128usize + 48).div_ceil(cfg.page_size) + 2);
+            builder = builder.kv_pages(2 * (128usize + 48).div_ceil(PAGE_SIZE) + 2);
         }
+        let cfg = builder.build().expect("valid proptest config");
         let report = simulate_decode_trace(&cfg, &trace);
         prop_assert_eq!(report.requests, trace.len());
         prop_assert!(report.kv.conserved(),
@@ -530,15 +604,14 @@ proptest! {
             rate_centirps as f64 / 100.0,
             seed,
         );
-        let mut cfg = DecodeServeConfig::new(
-            DecodePolicy::ContinuousPaddingFree { token_budget: 128 });
-        cfg.model.layers = 1;
-        cfg.preempt = PreemptPolicy::SwapToHost;
-        cfg.host_pages = Some(host_pages);
-        cfg.verify_invariants = true;
-        // One worst-case context (64 + 128 tokens = 12 pages) plus slim
-        // headroom: decode growth must evict, swap must engage.
-        cfg.kv_pages = Some((64usize + 128).div_ceil(cfg.page_size) + 3);
+        let cfg = proptest_builder(DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+            .preempt(PreemptPolicy::SwapToHost)
+            .host_pages(host_pages)
+            // One worst-case context (64 + 128 tokens = 12 pages) plus slim
+            // headroom: decode growth must evict, swap must engage.
+            .kv_pages((64usize + 128).div_ceil(PAGE_SIZE) + 3)
+            .build()
+            .expect("valid proptest config");
         let report = simulate_decode_trace(&cfg, &trace);
         prop_assert_eq!(report.requests, trace.len());
         prop_assert!(report.kv.conserved(),
@@ -555,5 +628,57 @@ proptest! {
         prop_assert!(report.swap_preemptions - report.restores as u64
             <= report.swap_fallbacks);
         prop_assert!(report.kv_peak_occupancy <= 1.0 + 1e-9);
+    }
+
+    /// End-to-end under per-sequence KV sparsity: random traces served
+    /// under sliding-window and heavy-hitter retention (tiny pools
+    /// included, so eviction races admission and preemption) keep every
+    /// pool invariant, agree with the pool on eviction counts, and drain
+    /// leak-free with exactly the trace's goodput served.
+    #[test]
+    fn sparse_decode_runs_leak_no_pages(
+        n in 1usize..20,
+        rate_centirps in 1000u64..40_000,
+        mean_out in 8u64..64,
+        recent_pages in 1usize..6,
+        heavy_pages in 1usize..6,
+        tiny_pool in 0u8..2,
+        seed in 0u64..10_000,
+    ) {
+        let trace = DecodeTrace::poisson(
+            &DatasetSpec::mnli(),
+            &DecodeSpec::geometric(mean_out as f64, 1, 128),
+            n,
+            rate_centirps as f64 / 100.0,
+            seed,
+        );
+        let recent = recent_pages * PAGE_SIZE;
+        for sparsity in [
+            KvSparsityPolicy::SlidingWindow { recent },
+            KvSparsityPolicy::HeavyHitter { recent, heavy: heavy_pages * PAGE_SIZE },
+        ] {
+            let mut builder = proptest_builder(
+                DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+                .kv_sparsity(sparsity);
+            if tiny_pool == 1 {
+                // One worst-case context plus headroom: eviction must
+                // interleave with preemption and admission throttling.
+                builder = builder.kv_pages(2 * (128usize + 128).div_ceil(PAGE_SIZE) + 2);
+            }
+            let cfg = builder.build().expect("valid sparse proptest config");
+            let report = simulate_decode_trace(&cfg, &trace);
+            prop_assert_eq!(report.requests, trace.len());
+            prop_assert!(report.kv.conserved(),
+                "{} leaked pages: {:?}", report.policy, report.kv);
+            prop_assert_eq!(report.kv.sparsity_evicted_pages, report.sparsity_dropped_pages,
+                "pool and metrics disagree on evictions");
+            prop_assert!(report.sparsity_freed_pages <= report.sparsity_dropped_pages);
+            prop_assert!(report.attended_tokens <= report.cached_ctx_tokens);
+            // Goodput conservation: recompute re-prefills are metered as
+            // overhead, so exactly the trace's rows count as served.
+            prop_assert_eq!(report.real_tokens, trace.total_tokens() - trace.len(),
+                "served rows must equal the no-preemption floor exactly");
+            prop_assert!(report.kv_peak_occupancy <= 1.0 + 1e-9);
+        }
     }
 }

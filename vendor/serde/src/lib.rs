@@ -1,38 +1,305 @@
 //! Offline stand-in for `serde`.
 //!
 //! The build environment has no crates.io access, so this vendored crate
-//! provides just enough of serde's surface for the workspace to compile:
-//! a marker [`Serialize`] trait and the `#[derive(Serialize)]` macro
-//! (re-exported from the vendored `serde_derive`, which expands to a plain
-//! `impl Serialize`). No actual serialization machinery is included — the
-//! gpusim stats types only *tag* themselves serializable today; a future PR
-//! that needs real JSON output should grow this crate or swap in the real one.
+//! provides the slice of serde's surface the workspace uses: a
+//! [`Serialize`] trait that renders JSON directly into a `String`, and the
+//! `#[derive(Serialize)]` macro (re-exported from the vendored
+//! `serde_derive`, which expands to a field-wise [`Serialize::json`] impl
+//! for named-field structs). There is no `Serializer` abstraction, no
+//! `Deserialize`, and no formatting options — one canonical JSON encoding
+//! is all the workspace's `to_json()` report paths need.
 
-/// Marker trait standing in for `serde::Serialize`.
+// Lets the derive's generated `::serde::...` paths resolve inside this
+// crate too (the in-crate unit tests derive `Serialize`).
+extern crate self as serde;
+
+use std::fmt::Write as _;
+
+/// JSON serialization, stand-in for `serde::Serialize`.
 ///
-/// Deliberately method-free: deriving it costs nothing and downstream code
-/// can use it as a bound without pulling in serialization plumbing.
-pub trait Serialize {}
+/// Implementors append their canonical JSON encoding to `out`; the
+/// provided [`Serialize::to_json`] wraps that into a fresh `String`.
+pub trait Serialize {
+    /// Appends `self`'s JSON encoding to `out`.
+    fn json(&self, out: &mut String);
+
+    /// `self` as a JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.json(&mut out);
+        out
+    }
+}
 
 pub use serde_derive::Serialize;
 
-// Cover the primitives and std containers a derived impl's fields might
-// require if `Serialize` is ever used as a bound.
-macro_rules! impl_serialize {
-    ($($t:ty),*) => {$( impl Serialize for $t {} )*};
+/// Appends `s` as a JSON string literal (quoted, `"`/`\`/control
+/// characters escaped). Public because the derive macro's expansion and
+/// map-key encoding call it.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
-impl_serialize!(
-    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
-);
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
 
-impl Serialize for &str {}
-impl<T: Serialize> Serialize for Option<T> {}
-impl<T: Serialize> Serialize for Vec<T> {}
-impl<T: Serialize> Serialize for &T {}
-impl<T: Serialize> Serialize for [T] {}
-impl<T: Serialize, const N: usize> Serialize for [T; N] {}
-impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
-impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
-impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
-impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                // JSON has no NaN/Infinity; null is the conventional spelling.
+                if self.is_finite() {
+                    let _ = write!(out, "{self}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_str(out, self.encode_utf8(&mut buf));
+    }
+}
+
+impl Serialize for str {
+    fn json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn json(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+fn json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json(&self, out: &mut String) {
+        json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json(&self, out: &mut String) {
+        json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json(&self, out: &mut String) {
+        json_seq(self.iter(), out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn json(&self, out: &mut String) {
+        out.push('[');
+        self.0.json(out);
+        out.push(',');
+        self.1.json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn json(&self, out: &mut String) {
+        out.push('[');
+        self.0.json(out);
+        out.push(',');
+        self.1.json(out);
+        out.push(',');
+        self.2.json(out);
+        out.push(']');
+    }
+}
+
+/// JSON object keys must be strings: a key that already encodes to a
+/// string literal is used as-is, anything else (numbers, bools) gets its
+/// JSON wrapped in quotes — serde_json's map-key convention.
+fn json_key<K: Serialize>(key: &K, out: &mut String) {
+    let encoded = key.to_json();
+    if encoded.starts_with('"') {
+        out.push_str(&encoded);
+    } else {
+        write_json_str(out, &encoded);
+    }
+}
+
+fn json_map<'a, K, V>(entries: impl Iterator<Item = (&'a K, &'a V)>, out: &mut String)
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+{
+    // Sort by encoded key: deterministic output regardless of the map's
+    // iteration order (HashMap's is seeded per-process).
+    let mut rendered: Vec<(String, &'a V)> = entries
+        .map(|(k, v)| {
+            let mut s = String::new();
+            json_key(k, &mut s);
+            (s, v)
+        })
+        .collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    out.push('{');
+    for (i, (k, v)) in rendered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push(':');
+        v.json(out);
+    }
+    out.push('}');
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn json(&self, out: &mut String) {
+        json_map(self.iter(), out);
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn json(&self, out: &mut String) {
+        json_map(self.iter(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(42u32.to_json(), "42");
+        assert_eq!((-7i64).to_json(), "-7");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b\\c\nd".to_json(), r#""a\"b\\c\nd""#);
+        assert_eq!('x'.to_json(), "\"x\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!(Some(5usize).to_json(), "5");
+        assert_eq!(None::<usize>.to_json(), "null");
+        assert_eq!((1u8, "two").to_json(), "[1,\"two\"]");
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(m.to_json(), r#"{"a":1,"b":2}"#);
+        let mut n = std::collections::HashMap::new();
+        n.insert(10u32, true);
+        assert_eq!(n.to_json(), r#"{"10":true}"#);
+    }
+
+    #[test]
+    fn derived_struct_emits_fields_in_order() {
+        #[derive(Serialize)]
+        struct Report {
+            name: &'static str,
+            count: usize,
+            rate: f64,
+            nested: Option<Vec<u32>>,
+        }
+        let r = Report {
+            name: "run",
+            count: 3,
+            rate: 0.5,
+            nested: Some(vec![1, 2]),
+        };
+        assert_eq!(
+            r.to_json(),
+            r#"{"name":"run","count":3,"rate":0.5,"nested":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn derived_enum_falls_back_to_debug_string() {
+        // The field is only read through the derived `Debug` fallback,
+        // which dead-code analysis deliberately ignores.
+        #[allow(dead_code)]
+        #[derive(Debug, Serialize)]
+        enum Mode {
+            Fast,
+            Careful { retries: usize },
+        }
+        assert_eq!(Mode::Fast.to_json(), "\"Fast\"");
+        assert_eq!(
+            Mode::Careful { retries: 2 }.to_json(),
+            "\"Careful { retries: 2 }\""
+        );
+    }
+
+    #[test]
+    fn derived_tuple_and_unit_structs() {
+        #[derive(Serialize)]
+        struct Pair(u32, bool);
+        #[derive(Serialize)]
+        struct Nothing;
+        assert_eq!(Pair(7, false).to_json(), "[7,false]");
+        assert_eq!(Nothing.to_json(), "null");
+    }
+}

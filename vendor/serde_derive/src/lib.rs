@@ -1,10 +1,17 @@
 //! Hand-rolled `#[derive(Serialize)]` with zero dependencies (no syn/quote —
-//! the build environment is offline). Emits `impl serde::Serialize for T {}`
-//! for non-generic types; for generic types it expands to nothing, which is
-//! fine because the stub trait is a marker and nothing in the workspace
-//! requires the impl to exist.
+//! the build environment is offline). For a non-generic named-field struct
+//! it expands to a field-wise JSON `impl serde::Serialize`, emitting the
+//! fields in declaration order; tuple structs become JSON arrays, unit
+//! structs `null`, and enums fall back to their `Debug` rendering as a
+//! JSON string (every workspace enum that derives `Serialize` also derives
+//! `Debug`). Generic types expand to nothing — no workspace type needs a
+//! generic impl, and mis-handling bounds would be worse than skipping.
+//!
+//! Known parsing limits (fine for this workspace): a field whose type
+//! contains a bare `->` outside a group (fn-pointer types) would confuse
+//! the angle-bracket depth tracking, and `where` clauses are not handled.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
@@ -12,6 +19,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
     // Scan past attributes (`#[...]`), visibility and modifiers until the
     // `struct`/`enum`/`union` keyword, whose next ident is the type name.
+    let mut kind = None;
     let mut name = None;
     while let Some(tree) = tokens.next() {
         if let TokenTree::Ident(ident) = tree {
@@ -20,12 +28,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 if let Some(TokenTree::Ident(ty)) = tokens.next() {
                     name = Some(ty.to_string());
                 }
+                kind = Some(word);
                 break;
             }
         }
     }
 
-    let Some(name) = name else {
+    let (Some(kind), Some(name)) = (kind, name) else {
         return TokenStream::new();
     };
 
@@ -34,7 +43,135 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         return TokenStream::new();
     }
 
-    format!("impl ::serde::Serialize for {name} {{}}")
-        .parse()
-        .expect("generated impl must parse")
+    let body = match kind.as_str() {
+        // Unions have no safe field reads and no Debug; skip entirely.
+        "union" => return TokenStream::new(),
+        "enum" => r#"::serde::write_json_str(out, &::std::format!("{:?}", self));"#.to_string(),
+        _ => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_body(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_body(g.stream())
+            }
+            // Unit struct (`struct Name;`): serde's convention is null.
+            _ => r#"out.push_str("null");"#.to_string(),
+        },
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn json(&self, out: &mut ::std::string::String) {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated impl must parse")
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next(); // '#'
+            iter.next(); // the bracketed attribute group
+        }
+        // Skip visibility (`pub`, `pub(crate)`, `pub(in ...)`).
+        if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip `: Type` to the next top-level comma. Groups hide their
+        // inner commas; only generic angle brackets need depth tracking.
+        let mut depth = 0i32;
+        for t in iter.by_ref() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// `json` body for a named-field struct: a JSON object with the fields in
+/// declaration order.
+fn named_body(stream: TokenStream) -> String {
+    let fields = named_fields(stream);
+    if fields.is_empty() {
+        return r#"out.push_str("{}");"#.to_string();
+    }
+    let mut body = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let sep = if i == 0 { '{' } else { ',' };
+        body.push_str(&format!(
+            "out.push('{sep}'); \
+             ::serde::write_json_str(out, \"{f}\"); \
+             out.push(':'); \
+             ::serde::Serialize::json(&self.{f}, out); "
+        ));
+    }
+    body.push_str("out.push('}');");
+    body
+}
+
+/// `json` body for a tuple struct: a JSON array of the fields in order.
+fn tuple_body(stream: TokenStream) -> String {
+    // Count top-level commas (+1 for a trailing unterminated field).
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                    continue;
+                }
+                '>' => {
+                    depth -= 1;
+                    pending = true;
+                    continue;
+                }
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    if count == 0 {
+        return r#"out.push_str("null");"#.to_string();
+    }
+    let mut body = String::from("out.push('[');");
+    for i in 0..count {
+        if i > 0 {
+            body.push_str("out.push(',');");
+        }
+        body.push_str(&format!("::serde::Serialize::json(&self.{i}, out);"));
+    }
+    body.push_str("out.push(']');");
+    body
 }
