@@ -53,6 +53,7 @@ use pit_models::{Engine, Framework, ModelConfig};
 use pit_prefix::RadixPrefixIndex;
 use pit_swap::{plan_swap_out, PageDesc, RestoreQueue, SwapEngine};
 use pit_tensor::DType;
+use pit_trace::{reduce_spans, BreakdownSummary, TraceEvent, TraceSink, DEVICE_LANE};
 use pit_workloads::DecodeTrace;
 use std::collections::VecDeque;
 
@@ -744,6 +745,21 @@ fn step_gpu_seconds(
 /// Panics if a single request can never fit in the KV pool — the pool is
 /// misconfigured, not overloaded, in that case.
 pub fn simulate_decode_trace(cfg: &DecodeServeConfig, trace: &DecodeTrace) -> DecodeReport {
+    simulate_decode_trace_traced(cfg, trace, &TraceSink::disabled())
+}
+
+/// [`simulate_decode_trace`] with request-lifecycle tracing: every
+/// admission, prefill chunk, token, preemption, swap transfer and
+/// completion is recorded into `sink` on the virtual clock. When the sink
+/// is enabled, the report additionally carries the per-request
+/// queue/prefill/decode/stall breakdown reduced from the trace; a
+/// disabled sink makes this identical to the untraced entry point (each
+/// record is one branch).
+pub fn simulate_decode_trace_traced(
+    cfg: &DecodeServeConfig,
+    trace: &DecodeTrace,
+    sink: &TraceSink,
+) -> DecodeReport {
     let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
     let mut kv = PagedKvCache::new(cfg.kv_config());
     let mut metrics = DecodeMetrics::new();
@@ -796,16 +812,29 @@ pub fn simulate_decode_trace(cfg: &DecodeServeConfig, trace: &DecodeTrace) -> De
                 &mut kv,
                 &cache,
                 &mut metrics,
+                sink,
             );
         }
         // The builder rejected prefix caching, swap preemption and KV
         // sparsity for this policy, so no combination checks remain here.
         DecodePolicy::StaticPadded { max_batch } => {
-            run_static(cfg, max_batch, &mut waiting, &mut kv, &cache, &mut metrics);
+            run_static(
+                cfg,
+                max_batch,
+                &mut waiting,
+                &mut kv,
+                &cache,
+                &mut metrics,
+                sink,
+            );
         }
     }
     if cfg.verify_invariants {
         kv.check_invariants().expect("kv invariants at end of run");
+    }
+    if sink.is_enabled() {
+        let spans = reduce_spans(&sink.snapshot());
+        metrics.set_breakdown(BreakdownSummary::of(&spans));
     }
     metrics.report(&name, kv.stats(), CacheStats::of(&cache))
 }
@@ -841,6 +870,7 @@ fn run_continuous(
     kv: &mut PagedKvCache,
     cache: &JitCache,
     metrics: &mut DecodeMetrics,
+    sink: &TraceSink,
 ) {
     let token_budget = token_budget.max(1);
     let page = kv.config().page_size;
@@ -898,6 +928,15 @@ fn run_continuous(
                 let moved = kv.swap_in(s.id).expect("frames checked above");
                 let done = eng.swap_in(clock_s, moved);
                 metrics.record_restore(done - clock_s);
+                sink.record(
+                    done,
+                    s.id,
+                    TraceEvent::SwapIn {
+                        pages: moved,
+                        initiated_s: clock_s,
+                        link_busy_until_s: eng.h2d_busy_until_s(),
+                    },
+                );
                 restoring.push((s, was_decoding), done);
             }
         }
@@ -951,6 +990,11 @@ fn run_continuous(
                     .release_seq_pages(s.id, &pages)
                     .expect("retained-set eviction picks legal pages");
                 metrics.record_sparsity_eviction(pages.len(), freed);
+                sink.record(
+                    clock_s,
+                    s.id,
+                    TraceEvent::SparsityEvict { pages: pages.len() },
+                );
             }
         }
 
@@ -988,6 +1032,13 @@ fn run_continuous(
                 break;
             }
             let mut w = waiting.pop_front().expect("front checked");
+            sink.record(
+                clock_s,
+                w.id,
+                TraceEvent::Admitted {
+                    arrival_s: w.arrival_s,
+                },
+            );
             if let Some(ix) = index.as_mut() {
                 // Match the prompt (never past its second-to-last token —
                 // even a fully cached prompt must prefill something to
@@ -1006,6 +1057,16 @@ fn run_continuous(
                     w.prefix_hit = false;
                 }
                 metrics.record_prefix_admission(matched, w.prefix_hit);
+                if w.prefix_hit {
+                    sink.record(
+                        clock_s,
+                        w.id,
+                        TraceEvent::PrefixHit {
+                            pages: matched / page,
+                            tokens: matched,
+                        },
+                    );
+                }
             }
             prefilling.push_back(w);
         }
@@ -1051,6 +1112,7 @@ fn run_continuous(
                     &mut swapped,
                     swap.as_mut(),
                     metrics,
+                    sink,
                     &mut clock_s,
                 );
             } else if let Some(victim) = running.pop() {
@@ -1062,6 +1124,7 @@ fn run_continuous(
                     &mut swapped,
                     swap.as_mut(),
                     metrics,
+                    sink,
                     &mut clock_s,
                 );
             } else {
@@ -1149,6 +1212,7 @@ fn run_continuous(
                     &mut swapped,
                     swap.as_mut(),
                     metrics,
+                    sink,
                     &mut clock_s,
                 );
                 continue;
@@ -1165,6 +1229,13 @@ fn run_continuous(
                 // the savings recorded at swap time are handed back.
                 let preserved = host_written_tokens(kv, victim.id);
                 metrics.record_swap_demotion(preserved);
+                sink.record(
+                    clock_s,
+                    victim.id,
+                    TraceEvent::Preempted {
+                        policy: "swap-demotion",
+                    },
+                );
                 preempt_to_waiting(victim, was_decoding, kv, waiting);
                 continue;
             }
@@ -1221,6 +1292,15 @@ fn run_continuous(
             kv.occupancy(),
             kv.fragmentation(),
         );
+        sink.record(
+            clock_s,
+            DEVICE_LANE,
+            TraceEvent::Step {
+                prefill_rows: shape.chunk_tokens(),
+                decode_slots: shape.decode_slots(),
+                gpu_s,
+            },
+        );
         // Prefill rows re-deriving KV discarded at a recompute
         // preemption pay their debt here: they cost GPU time and count
         // in `prefill_tokens`, but not in the served-token goodput.
@@ -1241,13 +1321,22 @@ fn run_continuous(
 
         // Decode slots each emitted one token.
         let mut still_running: Vec<Seq> = Vec::with_capacity(running.len() + prefilling.len());
-        for mut s in running.drain(..) {
+        for (slot, mut s) in shape.decode.iter().zip(running.drain(..)) {
             metrics.record_itl(clock_s - s.last_token_s);
+            sink.record(
+                clock_s,
+                s.id,
+                TraceEvent::DecodeStep {
+                    attended: slot.attended,
+                    cached: slot.cached,
+                },
+            );
             s.generated += 1;
             s.last_token_s = clock_s;
             if s.done() {
                 kv.free(s.id).expect("completed request held pages");
                 metrics.record_e2e(clock_s - s.arrival_s);
+                sink.record(clock_s, s.id, TraceEvent::Finished);
             } else {
                 kv.extend(s.id, 1).expect("headroom reserved before step");
                 still_running.push(s);
@@ -1260,6 +1349,9 @@ fn run_continuous(
         // older survivors).
         let mut still_prefilling: VecDeque<Seq> = VecDeque::with_capacity(prefilling.len());
         for (mut s, c) in prefilling.drain(..).zip(planned) {
+            if c > 0 {
+                sink.record(clock_s, s.id, TraceEvent::PrefillChunk { tokens: c });
+            }
             s.prefilled += c;
             if s.prefilled < s.ctx().max(1) {
                 still_prefilling.push_back(s);
@@ -1279,6 +1371,7 @@ fn run_continuous(
             }
             if s.generated == 0 {
                 metrics.record_ttft(clock_s - s.arrival_s, s.prefix_hit);
+                sink.record(clock_s, s.id, TraceEvent::FirstToken);
             } else {
                 // Re-admitted after preemption: the gap includes requeue
                 // and recompute — the honest preemption penalty.
@@ -1289,6 +1382,7 @@ fn run_continuous(
             if s.done() {
                 kv.free(s.id).expect("completed request held pages");
                 metrics.record_e2e(clock_s - s.arrival_s);
+                sink.record(clock_s, s.id, TraceEvent::Finished);
             } else {
                 kv.extend(s.id, 1).expect("carry page reserved at planning");
                 still_running.push(s);
@@ -1411,6 +1505,7 @@ fn preempt_victim(
     swapped: &mut VecDeque<(Seq, bool)>,
     swap: Option<&mut SwapEngine>,
     metrics: &mut DecodeMetrics,
+    sink: &TraceSink,
     clock_s: &mut f64,
 ) {
     if let Some(eng) = swap {
@@ -1430,13 +1525,45 @@ fn preempt_victim(
             // recompute would have to re-derive. Shared prefix pages stay
             // resident either way, so they are not counted.
             let saved: usize = plan.iter().map(|&p| kv.page_written(p)).sum();
+            let initiated_s = *clock_s;
             kv.swap_out(victim.id, &plan).expect("plan is legal");
             *clock_s = eng.swap_out(*clock_s, plan.len());
             metrics.record_swap_preempt(saved);
+            sink.record(
+                initiated_s,
+                victim.id,
+                TraceEvent::Preempted {
+                    policy: "swap-to-host",
+                },
+            );
+            sink.record(
+                *clock_s,
+                victim.id,
+                TraceEvent::SwapOut {
+                    pages: plan.len(),
+                    initiated_s,
+                    link_busy_until_s: eng.d2h_busy_until_s(),
+                },
+            );
             swapped.push_back((victim, was_decoding));
             return;
         }
         metrics.record_swap_fallback();
+        sink.record(
+            *clock_s,
+            victim.id,
+            TraceEvent::Preempted {
+                policy: "swap-fallback",
+            },
+        );
+    } else {
+        sink.record(
+            *clock_s,
+            victim.id,
+            TraceEvent::Preempted {
+                policy: "recompute",
+            },
+        );
     }
     preempt_to_waiting(victim, was_decoding, kv, waiting);
 }
@@ -1450,6 +1577,7 @@ fn run_static(
     kv: &mut PagedKvCache,
     cache: &JitCache,
     metrics: &mut DecodeMetrics,
+    sink: &TraceSink,
 ) {
     let max_batch = max_batch.max(1);
     let mut clock_s = 0.0_f64;
@@ -1460,7 +1588,15 @@ fn run_static(
         while batch.len() < max_batch {
             match waiting.front() {
                 Some(w) if w.arrival_s <= clock_s => {
-                    batch.push(waiting.pop_front().expect("front checked"))
+                    let w = waiting.pop_front().expect("front checked");
+                    sink.record(
+                        clock_s,
+                        w.id,
+                        TraceEvent::Admitted {
+                            arrival_s: w.arrival_s,
+                        },
+                    );
+                    batch.push(w)
                 }
                 _ => break,
             }
@@ -1524,13 +1660,24 @@ fn run_static(
             kv.occupancy(),
             kv.fragmentation(),
         );
+        sink.record(
+            clock_s,
+            DEVICE_LANE,
+            TraceEvent::Step {
+                prefill_rows: shape.rows(),
+                decode_slots: 0,
+                gpu_s,
+            },
+        );
         for s in batch.iter_mut() {
             metrics.record_ttft(clock_s - s.arrival_s, false);
+            sink.record(clock_s, s.id, TraceEvent::FirstToken);
             s.generated = 1;
             s.last_token_s = clock_s;
             kv.extend(s.id, 1).expect("inside reservation");
             if s.done() {
                 metrics.record_e2e(clock_s - s.arrival_s);
+                sink.record(clock_s, s.id, TraceEvent::Finished);
             }
         }
 
@@ -1548,16 +1695,34 @@ fn run_static(
             let gpu_s = step_gpu_seconds(cfg, &shape, live, cache);
             clock_s += gpu_s;
             metrics.record_step(0, live, b, gpu_s, kv.occupancy(), kv.fragmentation());
+            sink.record(
+                clock_s,
+                DEVICE_LANE,
+                TraceEvent::Step {
+                    prefill_rows: 0,
+                    decode_slots: live,
+                    gpu_s,
+                },
+            );
             // Fixed-shape kernels attend the full reservation every step:
             // attended == cached == the padded context, per slot.
             metrics.record_attention(shape.attended_tokens(), shape.cached_tokens());
             for s in batch.iter_mut().filter(|s| s.target >= t) {
                 metrics.record_itl(clock_s - s.last_token_s);
+                sink.record(
+                    clock_s,
+                    s.id,
+                    TraceEvent::DecodeStep {
+                        attended: ctx_pad,
+                        cached: ctx_pad,
+                    },
+                );
                 s.generated = t;
                 s.last_token_s = clock_s;
                 kv.extend(s.id, 1).expect("inside reservation");
                 if s.done() {
                     metrics.record_e2e(clock_s - s.arrival_s);
+                    sink.record(clock_s, s.id, TraceEvent::Finished);
                 }
             }
         }

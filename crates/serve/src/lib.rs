@@ -48,7 +48,19 @@
 //!   split by prefix-cache hit/miss), prefix hit rate and cache-served
 //!   prompt tokens, KV occupancy, fragmentation, preemptions and
 //!   attended-vs-cached attention footprint in [`DecodeReport`], which
-//!   serializes whole via `DecodeReport::to_json`.
+//!   serializes whole via `DecodeReport::to_json`. Latency distributions
+//!   stream into `pit_trace::LatencySketch`es (bounded memory, 1%
+//!   relative-error percentiles); the exact
+//!   [`Percentiles::from_unsorted`] survives as the test oracle.
+//!
+//! Observability: [`decode::simulate_decode_trace_traced`] records every
+//! request-lifecycle event (admission, prefill chunks, tokens,
+//! preemptions, swap transfers, completion) into a `pit_trace::TraceSink`
+//! on the virtual clock. An enabled sink adds a per-request
+//! queue/prefill/decode/stall breakdown to the report and can be exported
+//! to Chrome `trace_event` JSON via `pit_trace::chrome_trace_json`; the
+//! default entry points pass a disabled sink, whose recording cost is one
+//! branch per event.
 
 pub mod decode;
 pub mod metrics;
@@ -57,8 +69,8 @@ pub mod runtime;
 pub mod scheduler;
 
 pub use decode::{
-    simulate_decode_trace, ConfigError, DecodePolicy, DecodeServeConfig, DecodeServeConfigBuilder,
-    KvSparsityPolicy, PreemptPolicy,
+    simulate_decode_trace, simulate_decode_trace_traced, ConfigError, DecodePolicy,
+    DecodeServeConfig, DecodeServeConfigBuilder, KvSparsityPolicy, PreemptPolicy,
 };
 pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles, ServingReport};
 pub use queue::BoundedQueue;

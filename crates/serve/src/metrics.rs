@@ -10,6 +10,7 @@
 //! running the simulation.
 
 use crate::scheduler::FormedBatch;
+use pit_trace::{BreakdownSummary, LatencySketch};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,8 +27,19 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Computes percentiles from an unsorted sample; zeros when empty.
-    pub fn from_unsorted(mut samples: Vec<f64>) -> Self {
+    /// Computes exact percentiles from an unsorted sample; zeros when
+    /// empty. NaN samples are rejected rather than panicking mid-sort: a
+    /// debug assertion fires (the caller fed a poisoned latency), release
+    /// builds filter them out and rank the rest.
+    ///
+    /// The live collectors feed [`Percentiles::from_sketch`] instead; this
+    /// exact form is the test oracle the sketch is validated against.
+    pub fn from_unsorted(samples: Vec<f64>) -> Self {
+        debug_assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "NaN latency in percentile sample"
+        );
+        let mut samples: Vec<f64> = samples.into_iter().filter(|v| !v.is_nan()).collect();
         if samples.is_empty() {
             return Percentiles {
                 p50: 0.0,
@@ -35,7 +47,7 @@ impl Percentiles {
                 p99: 0.0,
             };
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency"));
+        samples.sort_by(f64::total_cmp);
         let pick = |q: f64| {
             let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
             samples[idx]
@@ -44,6 +56,17 @@ impl Percentiles {
             p50: pick(0.50),
             p95: pick(0.95),
             p99: pick(0.99),
+        }
+    }
+
+    /// Reads the percentile triple out of a streaming sketch (same rank
+    /// convention as [`Percentiles::from_unsorted`], each within the
+    /// sketch's relative-error bound of the exact statistic).
+    pub fn from_sketch(sketch: &LatencySketch) -> Self {
+        Percentiles {
+            p50: sketch.quantile(0.50),
+            p95: sketch.quantile(0.95),
+            p99: sketch.quantile(0.99),
         }
     }
 }
@@ -81,9 +104,12 @@ impl CacheStats {
 }
 
 /// Thread-safe collector the runtime writes into while serving.
+///
+/// Latencies stream into a [`LatencySketch`], so the collector's memory
+/// is bounded by the latency dynamic range — not by the request count.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    latencies_s: Mutex<Vec<f64>>,
+    latencies_s: Mutex<LatencySketch>,
     real_tokens: AtomicUsize,
     padded_tokens: AtomicUsize,
     batches: AtomicUsize,
@@ -113,7 +139,7 @@ impl Metrics {
         self.latencies_s
             .lock()
             .expect("metrics poisoned")
-            .push(latency_s);
+            .record(latency_s);
     }
 
     /// Records one request turned away at admission (reject-when-full
@@ -133,15 +159,16 @@ impl Metrics {
         let latencies = self.latencies_s.lock().expect("metrics poisoned").clone();
         ServingReport {
             policy: policy.to_string(),
-            requests: latencies.len(),
+            requests: latencies.count() as usize,
             batches: self.batches.load(Ordering::Relaxed),
             real_tokens: self.real_tokens.load(Ordering::Relaxed),
             padded_tokens: self.padded_tokens.load(Ordering::Relaxed),
             gpu_time_s: self.gpu_nanos.load(Ordering::Relaxed) as f64 / 1e9,
             wall_time_s,
-            latency: Percentiles::from_unsorted(latencies),
+            latency: Percentiles::from_sketch(&latencies),
             queue_high_water,
             rejected: self.rejected.load(Ordering::Relaxed),
+            windows: None,
             cache,
         }
     }
@@ -172,6 +199,9 @@ pub struct ServingReport {
     /// Requests turned away at admission (always 0 under blocking
     /// backpressure; counts drops under reject-when-full admission).
     pub rejected: usize,
+    /// Per-window admitted/rejected/queue-depth series for open-loop
+    /// replays (`None` unless `ServeConfig::arrival_window_s` was set).
+    pub windows: Option<Vec<pit_trace::WindowStat>>,
     /// Shared JIT-cache counters for the run.
     pub cache: CacheStats,
 }
@@ -239,20 +269,41 @@ impl fmt::Display for ServingReport {
             self.cache.misses,
             self.cache.evictions,
             self.cache.hit_rate() * 100.0
-        )
+        )?;
+        if let Some(w) = &self.windows {
+            let width = if w.len() >= 2 {
+                w[1].start_s - w[0].start_s
+            } else {
+                0.0
+            };
+            let busiest = w.iter().max_by_key(|s| s.admitted);
+            write!(
+                f,
+                "\n  arrival windows: {} x {:.1}s; busiest admitted {} (peak queue depth {})",
+                w.len(),
+                width,
+                busiest.map_or(0, |s| s.admitted),
+                busiest.map_or(0, |s| s.peak_queue_depth),
+            )?;
+        }
+        Ok(())
     }
 }
 
 /// Single-threaded collector for the decode runtime's per-iteration
 /// accounting. The decode engine is an iteration loop on one modelled
 /// device, so no interior mutability is needed.
+///
+/// Every latency distribution streams into a [`LatencySketch`]: the
+/// collector's footprint is O(latency dynamic range), not O(requests), so
+/// million-request replays don't accumulate sample vectors.
 #[derive(Debug, Default)]
 pub struct DecodeMetrics {
-    ttft_s: Vec<f64>,
-    ttft_hit_s: Vec<f64>,
-    ttft_miss_s: Vec<f64>,
-    itl_s: Vec<f64>,
-    e2e_s: Vec<f64>,
+    ttft_s: LatencySketch,
+    ttft_hit_s: LatencySketch,
+    ttft_miss_s: LatencySketch,
+    itl_s: LatencySketch,
+    e2e_s: LatencySketch,
     iterations: usize,
     prefill_tokens: usize,
     decode_tokens: usize,
@@ -274,11 +325,12 @@ pub struct DecodeMetrics {
     swap_fallbacks: u64,
     recompute_tokens_saved: usize,
     recompute_rework_tokens: usize,
-    restore_s: Vec<f64>,
+    restore_s: LatencySketch,
     host_occupancy_sum: f64,
     host_occupancy_peak: f64,
     host_occupancy_samples: usize,
     swap: Option<pit_swap::SwapStats>,
+    breakdown: Option<BreakdownSummary>,
 }
 
 impl DecodeMetrics {
@@ -342,11 +394,11 @@ impl DecodeMetrics {
     /// split by whether its admission hit the prompt-prefix cache (always
     /// a miss when prefix caching is off).
     pub fn record_ttft(&mut self, seconds: f64, prefix_hit: bool) {
-        self.ttft_s.push(seconds);
+        self.ttft_s.record(seconds);
         if prefix_hit {
-            self.ttft_hit_s.push(seconds);
+            self.ttft_hit_s.record(seconds);
         } else {
-            self.ttft_miss_s.push(seconds);
+            self.ttft_miss_s.record(seconds);
         }
     }
 
@@ -393,7 +445,7 @@ impl DecodeMetrics {
     /// the transfer lands and the sequence may rejoin the batch (link
     /// queueing included).
     pub fn record_restore(&mut self, seconds: f64) {
-        self.restore_s.push(seconds);
+        self.restore_s.record(seconds);
     }
 
     /// Records the host staging pool's occupancy during one step.
@@ -411,12 +463,18 @@ impl DecodeMetrics {
     /// Records one inter-token gap (seconds between consecutive tokens of
     /// the same request).
     pub fn record_itl(&mut self, seconds: f64) {
-        self.itl_s.push(seconds);
+        self.itl_s.record(seconds);
     }
 
     /// Records one request's end-to-end latency (arrival to last token).
     pub fn record_e2e(&mut self, seconds: f64) {
-        self.e2e_s.push(seconds);
+        self.e2e_s.record(seconds);
+    }
+
+    /// Attaches the per-request phase breakdown reduced from a trace
+    /// (only available when the run recorded into an enabled `TraceSink`).
+    pub fn set_breakdown(&mut self, breakdown: BreakdownSummary) {
+        self.breakdown = Some(breakdown);
     }
 
     /// Freezes the collector into a report.
@@ -424,7 +482,7 @@ impl DecodeMetrics {
         let n = self.iterations.max(1) as f64;
         DecodeReport {
             policy: policy.to_string(),
-            requests: self.e2e_s.len(),
+            requests: self.e2e_s.count() as usize,
             iterations: self.iterations,
             prefill_tokens: self.prefill_tokens,
             decode_tokens: self.decode_tokens,
@@ -432,11 +490,11 @@ impl DecodeMetrics {
             recomputed_tokens: self.recompute_rework_tokens,
             processed_tokens: self.processed_tokens,
             gpu_time_s: self.gpu_time_s,
-            ttft: Percentiles::from_unsorted(self.ttft_s),
-            ttft_hit: Percentiles::from_unsorted(self.ttft_hit_s),
-            ttft_miss: Percentiles::from_unsorted(self.ttft_miss_s),
-            itl: Percentiles::from_unsorted(self.itl_s),
-            e2e: Percentiles::from_unsorted(self.e2e_s),
+            ttft: Percentiles::from_sketch(&self.ttft_s),
+            ttft_hit: Percentiles::from_sketch(&self.ttft_hit_s),
+            ttft_miss: Percentiles::from_sketch(&self.ttft_miss_s),
+            itl: Percentiles::from_sketch(&self.itl_s),
+            e2e: Percentiles::from_sketch(&self.e2e_s),
             attended_tokens: self.attended_tokens,
             cached_ctx_tokens: self.cached_ctx_tokens,
             sparsity_dropped_pages: self.sparsity_dropped_pages,
@@ -448,8 +506,8 @@ impl DecodeMetrics {
             swap_preemptions: self.swap_preemptions,
             swap_fallbacks: self.swap_fallbacks,
             recompute_tokens_saved: self.recompute_tokens_saved,
-            restores: self.restore_s.len(),
-            restore: Percentiles::from_unsorted(self.restore_s),
+            restores: self.restore_s.count() as usize,
+            restore: Percentiles::from_sketch(&self.restore_s),
             host_mean_occupancy: self.host_occupancy_sum
                 / self.host_occupancy_samples.max(1) as f64,
             host_peak_occupancy: self.host_occupancy_peak,
@@ -458,6 +516,7 @@ impl DecodeMetrics {
             kv_mean_occupancy: self.occupancy_sum / n,
             kv_peak_occupancy: self.occupancy_peak,
             kv_mean_fragmentation: self.fragmentation_sum / n,
+            breakdown: self.breakdown,
             cache,
         }
     }
@@ -554,6 +613,9 @@ pub struct DecodeReport {
     pub kv_peak_occupancy: f64,
     /// Mean allocated-but-unwritten slot fraction across iterations.
     pub kv_mean_fragmentation: f64,
+    /// Mean queue/prefill/decode/stall phase times per finished request,
+    /// reduced from the lifecycle trace (`None` when tracing was off).
+    pub breakdown: Option<BreakdownSummary>,
     /// Shared JIT-cache counters.
     pub cache: CacheStats,
 }
@@ -703,6 +765,19 @@ impl fmt::Display for DecodeReport {
             )?;
             writeln!(f, "  {s}")?;
         }
+        if let Some(b) = &self.breakdown {
+            writeln!(
+                f,
+                "  breakdown ({} finished): queue {:.2} ms + prefill {:.2} ms + decode {:.2} ms \
+                 + stall {:.2} ms = {:.2} ms mean e2e",
+                b.requests,
+                b.mean_queue_s * 1e3,
+                b.mean_prefill_s * 1e3,
+                b.mean_decode_s * 1e3,
+                b.mean_stall_s * 1e3,
+                b.mean_total_s() * 1e3,
+            )?;
+        }
         writeln!(
             f,
             "  {} (mean occupancy {:.1}%, peak {:.1}%, mean fragmentation {:.1}%)",
@@ -727,6 +802,16 @@ mod tests {
     use super::*;
     use crate::scheduler::BatchPolicy;
 
+    /// Asserts `got` is within the sketch's relative-error bound of
+    /// `want` (reports built from sketches are approximate by contract).
+    fn assert_close(got: f64, want: f64) {
+        let tol = pit_trace::DEFAULT_SKETCH_ERROR * want.abs() + 1e-12;
+        assert!(
+            (got - want).abs() <= tol,
+            "{got} not within {tol} of {want}"
+        );
+    }
+
     #[test]
     fn percentiles_of_known_sample() {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
@@ -746,6 +831,30 @@ mod tests {
         // Unsorted input is sorted internally.
         let p = Percentiles::from_unsorted(vec![5.0, 1.0, 3.0]);
         assert_eq!(p.p50, 3.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "NaN latency"))]
+    fn percentiles_reject_nan_instead_of_panicking_in_sort() {
+        // Debug builds assert on the poisoned sample; release builds
+        // filter it and rank the remaining values.
+        let p = Percentiles::from_unsorted(vec![2.0, f64::NAN, 1.0, 3.0]);
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.p99, 3.0);
+    }
+
+    #[test]
+    fn sketch_percentiles_track_the_exact_oracle() {
+        let samples: Vec<f64> = (1..=500).map(|i| i as f64 * 1e-4).collect();
+        let mut sketch = LatencySketch::new();
+        for &v in &samples {
+            sketch.record(v);
+        }
+        let exact = Percentiles::from_unsorted(samples);
+        let approx = Percentiles::from_sketch(&sketch);
+        assert_close(approx.p50, exact.p50);
+        assert_close(approx.p95, exact.p95);
+        assert_close(approx.p99, exact.p99);
     }
 
     #[test]
@@ -776,12 +885,12 @@ mod tests {
         assert!((r.kv_mean_occupancy - 0.3).abs() < 1e-9);
         assert!((r.kv_peak_occupancy - 0.4).abs() < 1e-9);
         assert!((r.kv_mean_fragmentation - 0.2).abs() < 1e-9);
-        assert_eq!(r.itl.p50, 0.002);
-        assert_eq!(r.itl.p99, 0.004);
+        assert_close(r.itl.p50, 0.002);
+        assert_close(r.itl.p99, 0.004);
         assert!(r.kv.conserved());
         assert!((r.mean_decode_batch() - 4.0).abs() < 1e-12);
         // No prefix caching: every TTFT lands in the miss bucket.
-        assert_eq!(r.ttft_miss.p50, 0.010);
+        assert_close(r.ttft_miss.p50, 0.010);
         assert_eq!(r.ttft_hit.p50, 0.0);
         assert_eq!(r.prefix_hit_rate(), 0.0);
         assert!(r.prefix.is_none());
@@ -814,8 +923,8 @@ mod tests {
         assert_eq!(r.prefix_misses, 1);
         assert_eq!(r.prefix_cached_tokens, 448);
         assert!((r.prefix_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
-        assert_eq!(r.ttft_hit.p99, 0.006);
-        assert_eq!(r.ttft_miss.p99, 0.020);
+        assert_close(r.ttft_hit.p99, 0.006);
+        assert_close(r.ttft_miss.p99, 0.020);
         assert!(r.ttft_hit.p95 < r.ttft_miss.p95);
         assert!(r.prefix.is_some());
         let text = r.to_string();
@@ -848,8 +957,8 @@ mod tests {
         assert_eq!(r.swap_fallbacks, 1);
         assert_eq!(r.recompute_tokens_saved, 200);
         assert_eq!(r.restores, 2);
-        assert_eq!(r.restore.p50, 0.002);
-        assert_eq!(r.restore.p99, 0.006);
+        assert_close(r.restore.p50, 0.002);
+        assert_close(r.restore.p99, 0.006);
         assert!((r.host_mean_occupancy - 0.5).abs() < 1e-12);
         assert!((r.host_peak_occupancy - 0.75).abs() < 1e-12);
         assert!(r.swap.is_some());

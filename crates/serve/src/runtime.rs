@@ -27,6 +27,7 @@ use pit_gpusim::DeviceSpec;
 use pit_models::{Engine, ModelConfig};
 use pit_sparse::Mask;
 use pit_tensor::DType;
+use pit_trace::WindowSeries;
 use pit_workloads::ArrivalTrace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,6 +80,12 @@ pub struct ServeConfig {
     /// Shared JIT-cache bound (entries); keeps a long-running server's
     /// selection cache from growing without limit.
     pub cache_capacity: usize,
+    /// When set, the open-loop replays bucket admitted/rejected counts
+    /// (and, in the deterministic replay, peak queue depth) into windows
+    /// this many seconds wide — [`ServingReport::windows`]. `None` (the
+    /// default) keeps the replays window-free; bursty traces are where
+    /// the series earns its keep, since end-of-run totals hide bursts.
+    pub arrival_window_s: Option<f64>,
 }
 
 impl ServeConfig {
@@ -97,6 +104,7 @@ impl ServeConfig {
             device: DeviceSpec::a100_80gb(),
             dtype: DType::F32,
             cache_capacity: 256,
+            arrival_window_s: None,
         }
     }
 }
@@ -398,7 +406,7 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
     let min_fill = cfg.min_fill.max(1);
     let started = Instant::now();
 
-    thread::scope(|s| {
+    let windows = thread::scope(|s| {
         for _ in 0..cfg.workers.max(1) {
             s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics));
         }
@@ -406,8 +414,10 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
 
         // Open-loop submitter: sleep to each arrival timestamp, then admit
         // — blocking on backpressure or shedding the request, per the
-        // configured admission mode.
+        // configured admission mode. Window counters stay on the trace
+        // clock (the arrival schedule), the one axis both replays share.
         let submitter = s.spawn(|| {
+            let mut windows = cfg.arrival_window_s.map(WindowSeries::new);
             for (&len, &arrival) in trace.lens.iter().zip(&trace.arrival_s) {
                 let target = started + Duration::from_secs_f64(arrival);
                 if let Some(wait) = target.checked_duration_since(Instant::now()) {
@@ -424,25 +434,41 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
                         if admission.push(request).is_err() {
                             break;
                         }
+                        if let Some(w) = windows.as_mut() {
+                            w.admitted(arrival);
+                        }
                     }
                     AdmissionMode::RejectWhenFull => match admission.try_push(request) {
-                        Ok(()) => {}
-                        Err(TryPushError::Full) => metrics.record_rejected(),
+                        Ok(()) => {
+                            if let Some(w) = windows.as_mut() {
+                                w.admitted(arrival);
+                            }
+                        }
+                        Err(TryPushError::Full) => {
+                            metrics.record_rejected();
+                            if let Some(w) = windows.as_mut() {
+                                w.rejected(arrival);
+                            }
+                        }
                         Err(TryPushError::ClosedQueue) => break,
                     },
                 }
             }
+            windows
         });
-        submitter.join().expect("submitter panicked");
+        let windows = submitter.join().expect("submitter panicked");
         admission.close();
+        windows
     });
 
-    metrics.report(
+    let mut report = metrics.report(
         cfg.policy.name(),
         started.elapsed().as_secs_f64(),
         admission.high_water(),
         CacheStats::of(&cache),
-    )
+    );
+    report.windows = windows.map(WindowSeries::into_stats);
+    report
 }
 
 /// Deterministic open-loop counterpart of [`serve_trace_arrivals`]: the
@@ -458,6 +484,7 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
     let mut next = 0usize;
     let mut pending: VecDeque<(usize, f64)> = VecDeque::new();
     let mut high_water = 0usize;
+    let mut windows = cfg.arrival_window_s.map(WindowSeries::new);
     while next < trace.len() || !pending.is_empty() {
         if pending.is_empty() {
             // Device idle: jump to the next arrival.
@@ -472,12 +499,21 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
                 && pending.len() >= cfg.queue_capacity.max(1)
             {
                 metrics.record_rejected();
+                if let Some(w) = windows.as_mut() {
+                    w.rejected(trace.arrival_s[next]);
+                }
             } else {
                 pending.push_back((trace.lens[next], trace.arrival_s[next]));
+                if let Some(w) = windows.as_mut() {
+                    w.admitted(trace.arrival_s[next]);
+                }
             }
             next += 1;
         }
         high_water = high_water.max(pending.len());
+        if let Some(w) = windows.as_mut() {
+            w.queue_depth(clock_s, pending.len());
+        }
         let lens: Vec<usize> = pending.iter().map(|&(l, _)| l).collect();
         let take = cfg.policy.take_count(&lens);
         let taken: Vec<(usize, f64)> = pending.drain(..take).collect();
@@ -489,12 +525,14 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
             metrics.record_latency(clock_s - arrival);
         }
     }
-    metrics.report(
+    let mut report = metrics.report(
         cfg.policy.name(),
         started.elapsed().as_secs_f64(),
         high_water,
         CacheStats::of(&cache),
-    )
+    );
+    report.windows = windows.map(WindowSeries::into_stats);
+    report
 }
 
 #[cfg(test)]
@@ -668,6 +706,38 @@ mod tests {
         assert_eq!(r.rejected, 0);
         assert_eq!(r.requests, trace.len());
         assert!(r.to_string().contains("rejected"));
+    }
+
+    #[test]
+    fn bursty_replay_reports_per_window_series() {
+        let mut cfg = small_cfg(BatchPolicy::PaddingFree { token_budget: 1024 });
+        cfg.queue_capacity = 4;
+        cfg.admission = AdmissionMode::RejectWhenFull;
+        cfg.arrival_window_s = Some(0.05);
+        let trace = ArrivalTrace::bursty(&DatasetSpec::mnli(), 96, 400.0, 0.2, 0.5, 9);
+        let r = simulate_trace_arrivals(&cfg, &trace);
+        let windows = r.windows.as_ref().expect("windowing was requested");
+        assert!(!windows.is_empty());
+        // The series accounts for the whole trace, window by window.
+        let admitted: u64 = windows.iter().map(|w| w.admitted).sum();
+        let rejected: u64 = windows.iter().map(|w| w.rejected).sum();
+        assert_eq!(admitted as usize, r.requests);
+        assert_eq!(rejected as usize, r.rejected);
+        // Bursts show: some window admitted strictly more than the mean.
+        let mean = admitted as f64 / windows.len() as f64;
+        assert!(
+            windows.iter().any(|w| w.admitted as f64 > mean),
+            "a bursty trace should have at least one above-mean window"
+        );
+        assert!(windows
+            .iter()
+            .all(|w| w.peak_queue_depth <= cfg.queue_capacity));
+        assert!(r.to_string().contains("arrival windows"));
+        // Replays are deterministic, series included.
+        assert_eq!(simulate_trace_arrivals(&cfg, &trace).windows, r.windows);
+        // Off by default: no windows unless asked for.
+        cfg.arrival_window_s = None;
+        assert!(simulate_trace_arrivals(&cfg, &trace).windows.is_none());
     }
 
     #[test]

@@ -135,6 +135,17 @@ impl SwapEngine {
         self.h2d.schedule(now_s, pages * self.page_bytes)
     }
 
+    /// The eviction link's busy horizon: no d2h transfer scheduled now can
+    /// start before it. Exposed for trace exporters painting link lanes.
+    pub fn d2h_busy_until_s(&self) -> f64 {
+        self.d2h.busy_until_s()
+    }
+
+    /// The restore link's busy horizon (see [`Self::d2h_busy_until_s`]).
+    pub fn h2d_busy_until_s(&self) -> f64 {
+        self.h2d.busy_until_s()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> SwapStats {
         SwapStats {

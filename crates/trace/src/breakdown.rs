@@ -1,0 +1,218 @@
+//! Per-request span reduction: from a flat event stream to a
+//! queue / prefill / decode / stall time breakdown.
+//!
+//! The reduction partitions each request's `[arrival, last event]`
+//! interval by attributing every inter-event gap to the *later* event's
+//! phase: the time a gap ends in `Admitted` was spent queued, a gap
+//! ending in a `PrefillChunk` or `FirstToken` was prefill, one ending in
+//! a `DecodeStep` or `Finished` was decode, and gaps ending in
+//! preemption/swap/restore events were stalls. Because the gaps tile the
+//! interval exactly, the four phases sum to the request's end-to-end
+//! latency to floating-point accuracy — the property the acceptance test
+//! pins at 1e-6 s.
+
+use crate::sink::{TraceEvent, TraceRecord, RESERVED_LANES};
+use std::collections::BTreeMap;
+
+/// Which phase a gap belongs to.
+fn phase_of(event: &TraceEvent) -> Phase {
+    match event {
+        TraceEvent::Admitted { .. } | TraceEvent::PrefixHit { .. } | TraceEvent::Rejected => {
+            Phase::Queue
+        }
+        TraceEvent::PrefillChunk { .. } | TraceEvent::FirstToken => Phase::Prefill,
+        TraceEvent::DecodeStep { .. } | TraceEvent::Finished => Phase::Decode,
+        TraceEvent::Preempted { .. }
+        | TraceEvent::SwapOut { .. }
+        | TraceEvent::SwapIn { .. }
+        | TraceEvent::SparsityEvict { .. } => Phase::Stall,
+        TraceEvent::Step { .. } => Phase::Decode, // device lane; not reduced
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queue,
+    Prefill,
+    Decode,
+    Stall,
+}
+
+/// One request's lifecycle, reduced to phase totals.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SpanBreakdown {
+    /// Trace arrival time (seconds).
+    pub arrival_s: f64,
+    /// Time of the request's last event.
+    pub end_s: f64,
+    /// Time spent waiting for admission (including re-admission waits
+    /// after recompute preemption).
+    pub queue_s: f64,
+    /// Time spent in chunked prefill (head-of-line chunk waits included).
+    pub prefill_s: f64,
+    /// Time spent decoding (one token per step).
+    pub decode_s: f64,
+    /// Time lost to preemption, swap transfers and restore waits.
+    pub stall_s: f64,
+    /// Whether a `Finished` event closed the lifecycle.
+    pub finished: bool,
+}
+
+impl SpanBreakdown {
+    /// Sum of the four phases — equals `end_s - arrival_s` exactly by
+    /// construction (the gaps tile the interval).
+    pub fn total_s(&self) -> f64 {
+        self.queue_s + self.prefill_s + self.decode_s + self.stall_s
+    }
+}
+
+/// Reduces a sorted record stream (as returned by `TraceSink::drain` /
+/// `snapshot`) to one [`SpanBreakdown`] per sequence lane. Device and
+/// link lanes are skipped.
+pub fn reduce_spans(records: &[TraceRecord]) -> BTreeMap<u64, SpanBreakdown> {
+    let mut spans: BTreeMap<u64, SpanBreakdown> = BTreeMap::new();
+    let mut prev_t: BTreeMap<u64, f64> = BTreeMap::new();
+    for r in records {
+        if r.lane >= RESERVED_LANES {
+            continue;
+        }
+        let span = spans.entry(r.lane).or_insert_with(|| {
+            // The first event anchors the lifecycle; `Admitted` carries
+            // the true arrival, anything else starts the clock at itself.
+            let arrival = match r.event {
+                TraceEvent::Admitted { arrival_s } => arrival_s,
+                _ => r.t_s,
+            };
+            prev_t.insert(r.lane, arrival);
+            SpanBreakdown {
+                arrival_s: arrival,
+                end_s: arrival,
+                queue_s: 0.0,
+                prefill_s: 0.0,
+                decode_s: 0.0,
+                stall_s: 0.0,
+                finished: false,
+            }
+        });
+        let prev = prev_t.get_mut(&r.lane).expect("inserted above");
+        // Per-lane streams are time-monotone; guard against negative gaps
+        // from float noise anyway.
+        let gap = (r.t_s - *prev).max(0.0);
+        match phase_of(&r.event) {
+            Phase::Queue => span.queue_s += gap,
+            Phase::Prefill => span.prefill_s += gap,
+            Phase::Decode => span.decode_s += gap,
+            Phase::Stall => span.stall_s += gap,
+        }
+        *prev = prev.max(r.t_s);
+        span.end_s = span.end_s.max(r.t_s);
+        if matches!(r.event, TraceEvent::Finished) {
+            span.finished = true;
+        }
+    }
+    spans
+}
+
+/// Mean phase times across finished requests — the digest that lands in
+/// `DecodeReport`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct BreakdownSummary {
+    /// Requests whose lifecycle closed with `Finished`.
+    pub requests: usize,
+    /// Mean seconds queued per finished request.
+    pub mean_queue_s: f64,
+    /// Mean seconds in chunked prefill.
+    pub mean_prefill_s: f64,
+    /// Mean seconds decoding.
+    pub mean_decode_s: f64,
+    /// Mean seconds stalled (preemption, swap, restore).
+    pub mean_stall_s: f64,
+}
+
+impl BreakdownSummary {
+    /// Summarises the finished spans of a reduction.
+    pub fn of(spans: &BTreeMap<u64, SpanBreakdown>) -> Self {
+        let finished: Vec<&SpanBreakdown> = spans.values().filter(|s| s.finished).collect();
+        let n = finished.len().max(1) as f64;
+        BreakdownSummary {
+            requests: finished.len(),
+            mean_queue_s: finished.iter().map(|s| s.queue_s).sum::<f64>() / n,
+            mean_prefill_s: finished.iter().map(|s| s.prefill_s).sum::<f64>() / n,
+            mean_decode_s: finished.iter().map(|s| s.decode_s).sum::<f64>() / n,
+            mean_stall_s: finished.iter().map(|s| s.stall_s).sum::<f64>() / n,
+        }
+    }
+
+    /// Sum of the mean phase times — the mean end-to-end latency.
+    pub fn mean_total_s(&self) -> f64 {
+        self.mean_queue_s + self.mean_prefill_s + self.mean_decode_s + self.mean_stall_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn gaps_tile_the_lifecycle_exactly() {
+        let sink = TraceSink::enabled();
+        // arrival 1.0, admitted 1.5 (queue 0.5), chunk 2.0 (prefill 0.5),
+        // first token 2.25 (prefill 0.25), preempted 2.5 (stall 0.25),
+        // re-admitted 3.0 (queue 0.5), chunk 3.5 (prefill 0.5),
+        // decode 4.0 (decode 0.5), finished 4.0.
+        sink.record(1.5, 9, TraceEvent::Admitted { arrival_s: 1.0 });
+        sink.record(2.0, 9, TraceEvent::PrefillChunk { tokens: 64 });
+        sink.record(2.25, 9, TraceEvent::FirstToken);
+        sink.record(
+            2.5,
+            9,
+            TraceEvent::Preempted {
+                policy: "recompute",
+            },
+        );
+        sink.record(3.0, 9, TraceEvent::Admitted { arrival_s: 1.0 });
+        sink.record(3.5, 9, TraceEvent::PrefillChunk { tokens: 64 });
+        sink.record(
+            4.0,
+            9,
+            TraceEvent::DecodeStep {
+                attended: 64,
+                cached: 64,
+            },
+        );
+        sink.record(4.0, 9, TraceEvent::Finished);
+        let spans = reduce_spans(&sink.drain());
+        let s = spans[&9];
+        assert!(s.finished);
+        assert!((s.queue_s - 1.0).abs() < 1e-12);
+        assert!((s.prefill_s - 1.25).abs() < 1e-12);
+        assert!((s.stall_s - 0.25).abs() < 1e-12);
+        assert!((s.decode_s - 0.5).abs() < 1e-12);
+        assert!((s.total_s() - (s.end_s - s.arrival_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_lane_is_skipped_and_summary_averages_finished_only() {
+        let sink = TraceSink::enabled();
+        sink.record(
+            1.0,
+            crate::sink::DEVICE_LANE,
+            TraceEvent::Step {
+                prefill_rows: 8,
+                decode_slots: 2,
+                gpu_s: 0.5,
+            },
+        );
+        sink.record(0.5, 0, TraceEvent::Admitted { arrival_s: 0.0 });
+        sink.record(1.0, 0, TraceEvent::FirstToken);
+        sink.record(1.5, 0, TraceEvent::Finished);
+        sink.record(0.5, 1, TraceEvent::Admitted { arrival_s: 0.0 });
+        let spans = reduce_spans(&sink.drain());
+        assert_eq!(spans.len(), 2, "device lane excluded");
+        let sum = BreakdownSummary::of(&spans);
+        assert_eq!(sum.requests, 1, "unfinished request not averaged");
+        assert!((sum.mean_queue_s - 0.5).abs() < 1e-12);
+        assert!((sum.mean_total_s() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,314 @@
+//! Chrome `trace_event` export.
+//!
+//! Renders a drained record stream as the JSON array flavour of the
+//! Trace Event Format — loadable in `chrome://tracing` and Perfetto.
+//! Tracks: tid 0 is the modelled device (one complete event per
+//! iteration), tids 1 and 2 are the PCIe link directions (one complete
+//! event per transfer, spanning initiation to landing), and each
+//! sequence gets its own tid carrying its phase spans
+//! (queue/prefill/decode/stall segments from the same gap attribution as
+//! [`crate::reduce_spans`]) plus instant markers for admissions, prefix
+//! hits, preemptions and sparsity evictions.
+//!
+//! Timestamps and durations are microseconds (the format's unit); all
+//! events share pid 1. Event shapes are emitted by hand rather than
+//! through `#[derive(Serialize)]` — the entries mix numeric and string
+//! args, and the vendored derive skips generic types.
+
+use crate::sink::{TraceEvent, TraceRecord, DEVICE_LANE, RESERVED_LANES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tids for the fixed lanes; sequence lanes start above these.
+const TID_DEVICE: u64 = 0;
+const TID_D2H: u64 = 1;
+const TID_H2D: u64 = 2;
+const TID_SEQ_BASE: u64 = 3;
+
+fn us(t_s: f64) -> f64 {
+    t_s * 1e6
+}
+
+/// Appends one JSON number the way vendored serde does (`null` for
+/// non-finite values, which the viewers tolerate in args).
+fn num(out: &mut String, v: f64) {
+    use serde::Serialize as _;
+    v.json(out);
+}
+
+/// Appends one complete ("X") event.
+fn complete(
+    out: &mut String,
+    name: &str,
+    start_s: f64,
+    end_s: f64,
+    tid: u64,
+    args: &[(&str, f64)],
+) {
+    out.push_str("{\"name\":");
+    serde::write_json_str(out, name);
+    out.push_str(",\"ph\":\"X\",\"ts\":");
+    num(out, us(start_s));
+    out.push_str(",\"dur\":");
+    num(out, us((end_s - start_s).max(0.0)));
+    let _ = write!(out, ",\"pid\":1,\"tid\":{tid},\"args\":");
+    write_args(out, args);
+    out.push('}');
+}
+
+/// Appends one instant ("i") event (thread scope).
+fn instant(out: &mut String, name: &str, t_s: f64, tid: u64, args: &[(&str, f64)]) {
+    out.push_str("{\"name\":");
+    serde::write_json_str(out, name);
+    out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+    num(out, us(t_s));
+    let _ = write!(out, ",\"pid\":1,\"tid\":{tid},\"args\":");
+    write_args(out, args);
+    out.push('}');
+}
+
+fn write_args(out: &mut String, args: &[(&str, f64)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        serde::write_json_str(out, k);
+        out.push(':');
+        num(out, *v);
+    }
+    out.push('}');
+}
+
+/// Phase name of a sequence-lane gap; mirrors the breakdown attribution.
+fn gap_name(event: &TraceEvent) -> Option<&'static str> {
+    Some(match event {
+        TraceEvent::Admitted { .. } => "queue",
+        TraceEvent::PrefillChunk { .. } | TraceEvent::FirstToken => "prefill",
+        TraceEvent::DecodeStep { .. } | TraceEvent::Finished => "decode",
+        TraceEvent::Preempted { .. } | TraceEvent::SwapOut { .. } | TraceEvent::SwapIn { .. } => {
+            "stall"
+        }
+        _ => return None,
+    })
+}
+
+/// Renders `records` (sorted, as `TraceSink::drain`/`snapshot` return
+/// them) as a Chrome `trace_event` JSON array.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
+
+    // Stable seq → tid assignment in order of first appearance.
+    let mut seq_tids: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        if r.lane < RESERVED_LANES {
+            let next = TID_SEQ_BASE + seq_tids.len() as u64;
+            seq_tids.entry(r.lane).or_insert(next);
+        }
+    }
+
+    // Thread-name metadata so the viewers label the lanes.
+    let mut names: Vec<(String, u64)> = vec![
+        ("device".to_string(), TID_DEVICE),
+        ("pcie d2h".to_string(), TID_D2H),
+        ("pcie h2d".to_string(), TID_H2D),
+    ];
+    names.extend(
+        seq_tids
+            .iter()
+            .map(|(&seq, &tid)| (format!("seq {seq}"), tid)),
+    );
+    for (name, tid) in &names {
+        let mut m = String::new();
+        serde::write_json_str(&mut m, name);
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":{tid},"args":{{"name":{m}}}}}"#
+        ));
+    }
+
+    // Per-sequence gap segmentation: last event time per lane.
+    let mut prev: BTreeMap<u64, f64> = BTreeMap::new();
+
+    for r in records {
+        let mut buf = String::new();
+        match (&r.event, r.lane) {
+            (
+                TraceEvent::Step {
+                    prefill_rows,
+                    decode_slots,
+                    gpu_s,
+                },
+                DEVICE_LANE,
+            ) => {
+                complete(
+                    &mut buf,
+                    "step",
+                    r.t_s - gpu_s,
+                    r.t_s,
+                    TID_DEVICE,
+                    &[
+                        ("prefill_rows", *prefill_rows as f64),
+                        ("decode_slots", *decode_slots as f64),
+                    ],
+                );
+                events.push(buf);
+            }
+            (_, lane) if lane >= RESERVED_LANES => {}
+            (event, lane) => {
+                let tid = seq_tids[&lane];
+                let p = prev.entry(lane).or_insert(match event {
+                    TraceEvent::Admitted { arrival_s } => *arrival_s,
+                    _ => r.t_s,
+                });
+                if let Some(name) = gap_name(event) {
+                    if r.t_s > *p {
+                        let mut seg = String::new();
+                        complete(&mut seg, name, *p, r.t_s, tid, &[]);
+                        events.push(seg);
+                    }
+                }
+                *p = p.max(r.t_s);
+                match event {
+                    // Link transfers also paint the link lanes.
+                    TraceEvent::SwapOut {
+                        pages, initiated_s, ..
+                    } => complete(
+                        &mut buf,
+                        "swap_out",
+                        *initiated_s,
+                        r.t_s,
+                        TID_D2H,
+                        &[("pages", *pages as f64), ("seq", lane as f64)],
+                    ),
+                    TraceEvent::SwapIn {
+                        pages, initiated_s, ..
+                    } => complete(
+                        &mut buf,
+                        "swap_in",
+                        *initiated_s,
+                        r.t_s,
+                        TID_H2D,
+                        &[("pages", *pages as f64), ("seq", lane as f64)],
+                    ),
+                    TraceEvent::Admitted { .. }
+                    | TraceEvent::FirstToken
+                    | TraceEvent::Finished
+                    | TraceEvent::Rejected
+                    | TraceEvent::Preempted { .. } => {
+                        instant(&mut buf, event.name(), r.t_s, tid, &[])
+                    }
+                    TraceEvent::PrefixHit { pages, tokens } => instant(
+                        &mut buf,
+                        "prefix_hit",
+                        r.t_s,
+                        tid,
+                        &[("pages", *pages as f64), ("tokens", *tokens as f64)],
+                    ),
+                    TraceEvent::SparsityEvict { pages } => instant(
+                        &mut buf,
+                        "sparsity_evict",
+                        r.t_s,
+                        tid,
+                        &[("pages", *pages as f64)],
+                    ),
+                    _ => {}
+                }
+                if !buf.is_empty() {
+                    events.push(buf);
+                }
+            }
+        }
+    }
+    let mut out = String::with_capacity(events.iter().map(|e| e.len() + 1).sum::<usize>() + 2);
+    out.push('[');
+    out.push_str(&events.join(","));
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn export_is_a_valid_trace_event_array() {
+        let sink = TraceSink::enabled();
+        sink.record(0.5, 0, TraceEvent::Admitted { arrival_s: 0.0 });
+        sink.record(1.0, 0, TraceEvent::PrefillChunk { tokens: 64 });
+        sink.record(1.0, 0, TraceEvent::FirstToken);
+        sink.record(
+            1.5,
+            0,
+            TraceEvent::SwapOut {
+                pages: 4,
+                initiated_s: 1.0,
+                link_busy_until_s: 1.5,
+            },
+        );
+        sink.record(
+            2.0,
+            0,
+            TraceEvent::SwapIn {
+                pages: 4,
+                initiated_s: 1.6,
+                link_busy_until_s: 2.0,
+            },
+        );
+        sink.record(
+            2.5,
+            0,
+            TraceEvent::DecodeStep {
+                attended: 32,
+                cached: 64,
+            },
+        );
+        sink.record(2.5, 0, TraceEvent::Finished);
+        sink.record(
+            2.5,
+            DEVICE_LANE,
+            TraceEvent::Step {
+                prefill_rows: 0,
+                decode_slots: 1,
+                gpu_s: 0.5,
+            },
+        );
+        let json = chrome_trace_json(&sink.drain());
+        let v = JsonValue::parse(&json).expect("valid JSON");
+        let arr = v.as_array().expect("top level is an array");
+        assert!(arr.len() >= 8);
+        for ev in arr {
+            let obj = ev.as_object().expect("every event is an object");
+            let ph = obj
+                .iter()
+                .find(|(k, _)| k == "ph")
+                .and_then(|(_, v)| v.as_str())
+                .expect("event has a ph");
+            assert!(
+                ["X", "i", "M"].contains(&ph),
+                "unexpected phase {ph:?} in {json}"
+            );
+            assert!(obj.iter().any(|(k, _)| k == "ts"));
+            assert!(obj.iter().any(|(k, _)| k == "pid"));
+            assert!(obj.iter().any(|(k, _)| k == "tid"));
+        }
+        // Complete events carry non-negative microsecond durations.
+        let durs: Vec<f64> = arr
+            .iter()
+            .filter_map(|e| e.as_object())
+            .filter(|o| o.iter().any(|(k, v)| k == "ph" && v.as_str() == Some("X")))
+            .filter_map(|o| {
+                o.iter()
+                    .find(|(k, _)| k == "dur")
+                    .and_then(|(_, v)| v.as_f64())
+            })
+            .collect();
+        assert!(!durs.is_empty());
+        assert!(durs.iter().all(|&d| d >= 0.0));
+        // The swap transfers landed on the link lanes.
+        assert!(json.contains(r#""name":"swap_out""#));
+        assert!(json.contains(r#""name":"swap_in""#));
+        assert!(json.contains(r#""name":"device""#));
+    }
+}

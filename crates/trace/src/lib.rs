@@ -1,0 +1,40 @@
+//! `pit_trace`: observability for the serving stack.
+//!
+//! PIT's dynamic sparsity makes per-step cost data-dependent, so
+//! understanding a run takes a per-step, per-sequence timeline — not just
+//! a final percentile triple. This crate supplies the pieces the serving
+//! crates thread through their hot loops:
+//!
+//! - [`LatencySketch`] — a deterministic, mergeable log-bucketed quantile
+//!   sketch with a bounded relative error, replacing unbounded latency
+//!   sample vectors so million-request replays run in O(1) metric memory;
+//! - [`TraceSink`] / [`TraceEvent`] — an off-by-default (one branch when
+//!   disabled), shard-locked collector of typed request-lifecycle events
+//!   stamped on the virtual clock;
+//! - [`reduce_spans`] / [`BreakdownSummary`] — per-request span reduction
+//!   into a queue / prefill / decode / stall breakdown whose phases sum
+//!   to the end-to-end latency by construction;
+//! - [`chrome_trace_json`] — Chrome `trace_event` JSON export (device,
+//!   PCIe-link and per-sequence lanes), loadable in `chrome://tracing`
+//!   and Perfetto;
+//! - [`JsonValue`] — a minimal JSON reader for the tooling side (the
+//!   vendored serde only writes), used by `tools/bench_compare` and the
+//!   export validity tests;
+//! - [`WindowSeries`] — per-window admitted/rejected/queue-depth series
+//!   for open-loop bursty replays.
+
+mod breakdown;
+mod chrome;
+pub mod json;
+mod sink;
+mod sketch;
+mod windows;
+
+pub use breakdown::{reduce_spans, BreakdownSummary, SpanBreakdown};
+pub use chrome::chrome_trace_json;
+pub use json::JsonValue;
+pub use sink::{
+    TraceEvent, TraceRecord, TraceSink, DEVICE_LANE, LINK_D2H_LANE, LINK_H2D_LANE, RESERVED_LANES,
+};
+pub use sketch::{LatencySketch, DEFAULT_SKETCH_ERROR};
+pub use windows::{WindowSeries, WindowStat};

@@ -13,6 +13,10 @@
 //!   maximum, KV is reserved contiguously for the worst case, and every
 //!   slot decodes until the longest output finishes.
 //!
+//! Both reports are dumped to `BENCH_decode.json` via
+//! `DecodeReport::to_json` for CI to archive and diff with
+//! `tools/bench_compare`.
+//!
 //! ```bash
 //! cargo run --release --example decode_serving
 //! ```
@@ -63,6 +67,18 @@ fn main() {
         free.itl.p95 * 1e3,
         padded.ttft.p95 * 1e3,
         free.ttft.p95 * 1e3,
+    );
+
+    // One JSON document with both runs, for the CI artifact.
+    let json = format!(
+        "{{\"continuous\":{},\"static_padded\":{}}}",
+        free.to_json(),
+        padded.to_json()
+    );
+    std::fs::write("BENCH_decode.json", &json).expect("write BENCH_decode.json");
+    println!(
+        "\nwrote both reports to BENCH_decode.json ({} bytes)",
+        json.len()
     );
 
     // The CI smoke test leans on these assertions.

@@ -19,6 +19,10 @@
 //!   pages, and the index's LRU leaves are evicted when decode allocation
 //!   needs the pages back.
 //!
+//! Both reports are dumped to `BENCH_prefix.json` via
+//! `DecodeReport::to_json` for CI to archive and diff with
+//! `tools/bench_compare`.
+//!
 //! ```bash
 //! cargo run --release --example prefix_caching
 //! ```
@@ -74,6 +78,18 @@ fn main() {
         reuse.ttft.p95 * 1e3,
         no_reuse.gpu_time_s,
         reuse.gpu_time_s,
+    );
+
+    // One JSON document with both runs, for the CI artifact.
+    let json = format!(
+        "{{\"no_reuse\":{},\"prefix_cached\":{}}}",
+        no_reuse.to_json(),
+        reuse.to_json()
+    );
+    std::fs::write("BENCH_prefix.json", &json).expect("write BENCH_prefix.json");
+    println!(
+        "\nwrote both reports to BENCH_prefix.json ({} bytes)",
+        json.len()
     );
 
     // The CI smoke test leans on these assertions.

@@ -26,8 +26,11 @@
 //! cheaper (goodput tokens/s rises), and the compacted footprint means
 //! the pool preempts less (fewer recompute re-prefills).
 //!
-//! Both reports are dumped to `BENCH_decode.json` via
-//! `DecodeReport::to_json` for CI to archive.
+//! Both reports are dumped to `BENCH_sparse.json` via
+//! `DecodeReport::to_json` for CI to archive, and the heavy-hitter run is
+//! re-executed with a live `TraceSink` to export a Chrome/Perfetto
+//! timeline (`TRACE_decode.json`) of device steps, per-sequence lifecycle
+//! events and PCIe link lanes.
 //!
 //! ```bash
 //! cargo run --release --example sparse_decode
@@ -100,10 +103,41 @@ fn main() {
         dense.to_json(),
         hh.to_json()
     );
-    std::fs::write("BENCH_decode.json", &json).expect("write BENCH_decode.json");
+    std::fs::write("BENCH_sparse.json", &json).expect("write BENCH_sparse.json");
     println!(
-        "\nwrote both reports to BENCH_decode.json ({} bytes)",
+        "\nwrote both reports to BENCH_sparse.json ({} bytes)",
         json.len()
+    );
+
+    // Re-run the heavy-hitter config with tracing on and export a
+    // Chrome `trace_event` timeline (load it at ui.perfetto.dev).
+    let sink = pit::trace::TraceSink::enabled();
+    let traced = pit::serve::decode::simulate_decode_trace_traced(
+        &build(KvSparsityPolicy::HeavyHitter {
+            recent: 128,
+            heavy: 128,
+        }),
+        &trace,
+        &sink,
+    );
+    let b = traced
+        .breakdown
+        .expect("traced run yields a phase breakdown");
+    println!(
+        "traced run: queue {:.2} ms + prefill {:.2} ms + decode {:.2} ms + \
+         stall {:.2} ms = {:.2} ms mean e2e over {} finished requests",
+        b.mean_queue_s * 1e3,
+        b.mean_prefill_s * 1e3,
+        b.mean_decode_s * 1e3,
+        b.mean_stall_s * 1e3,
+        b.mean_total_s() * 1e3,
+        b.requests,
+    );
+    let chrome = pit::trace::chrome_trace_json(&sink.snapshot());
+    std::fs::write("TRACE_decode.json", &chrome).expect("write TRACE_decode.json");
+    println!(
+        "wrote Chrome trace to TRACE_decode.json ({} bytes)",
+        chrome.len()
     );
 
     // The CI smoke test leans on these assertions.

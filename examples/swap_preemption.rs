@@ -27,6 +27,10 @@
 //! (`cargo bench --bench swap` sweeps `pcie_gbps` down until recompute
 //! wins the trade back.)
 //!
+//! Both reports are dumped to `BENCH_swap.json` via
+//! `DecodeReport::to_json` for CI to archive and diff with
+//! `tools/bench_compare`.
+//!
 //! ```bash
 //! cargo run --release --example swap_preemption
 //! ```
@@ -85,6 +89,18 @@ fn main() {
         swp.ttft.p95 * 1e3,
         rec.e2e.p95,
         swp.e2e.p95,
+    );
+
+    // One JSON document with both runs, for the CI artifact.
+    let json = format!(
+        "{{\"recompute\":{},\"swap_to_host\":{}}}",
+        rec.to_json(),
+        swp.to_json()
+    );
+    std::fs::write("BENCH_swap.json", &json).expect("write BENCH_swap.json");
+    println!(
+        "\nwrote both reports to BENCH_swap.json ({} bytes)",
+        json.len()
     );
 
     // The CI smoke test leans on these assertions.

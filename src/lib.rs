@@ -26,6 +26,9 @@
 //! - [`serve`] — concurrent serving runtime: bounded admission,
 //!   padding-free continuous batching (prefill and decode phase), worker
 //!   pool, serving metrics.
+//! - [`trace`] — observability: request-lifecycle trace sink and span
+//!   reduction, streaming percentile sketches, arrival-window series and
+//!   Chrome `trace_event` export.
 //!
 //! See `README.md` for a quickstart, the workspace layout and the crate
 //! dependency graph.
@@ -40,6 +43,7 @@ pub use pit_serve as serve;
 pub use pit_sparse as sparse;
 pub use pit_swap as swap;
 pub use pit_tensor as tensor;
+pub use pit_trace as trace;
 pub use pit_workloads as workloads;
 
 /// Crate version of the reproduction.

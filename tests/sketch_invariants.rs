@@ -1,0 +1,189 @@
+//! Property-based and scale tests for `pit_trace::LatencySketch` — the
+//! streaming quantile sketch the serving metrics stream into.
+//!
+//! Two things are pinned here. First, the advertised contract on
+//! adversarial sample distributions: for any quantile `q`, the sketch is
+//! within its relative-error bound of the exact rank statistic computed
+//! by the oracle `Percentiles::from_unsorted`. Second, the reason the
+//! sketch exists at all: a million-request replay holds a bounded number
+//! of buckets — memory scales with the dynamic range, not the sample
+//! count — while still answering percentiles inside the bound.
+
+use pit::serve::Percentiles;
+use pit::trace::{LatencySketch, DEFAULT_SKETCH_ERROR};
+use proptest::prelude::*;
+
+/// The oracle's rank convention, on a sorted slice.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn assert_within_bound(sketch: &LatencySketch, sorted: &[f64], q: f64) {
+    let exact = exact_quantile(sorted, q);
+    let got = sketch.quantile(q);
+    let tol = sketch.error_bound() * exact.abs() + 1e-12;
+    assert!(
+        (got - exact).abs() <= tol,
+        "q={q}: sketch {got} vs exact {exact} (tol {tol}, n={})",
+        sorted.len()
+    );
+}
+
+/// Deterministic xorshift-style stream in (0, 1).
+fn unit(x: &mut u64) -> f64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*x >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Adversarial sample generators, keyed by shape index so proptest can
+/// sweep across them: constant, bimodal, heavy-tailed, log-uniform
+/// across decades, and near-duplicate clusters straddling bucket edges.
+fn generate(shape: usize, n: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|i| match shape % 5 {
+            // Constant: every bucket-midpoint error must cancel at rank.
+            0 => 0.125,
+            // Bimodal: microseconds vs seconds, nothing between.
+            1 => {
+                if unit(&mut x) < 0.3 {
+                    1e-6 * (1.0 + unit(&mut x))
+                } else {
+                    1.0 + unit(&mut x)
+                }
+            }
+            // Heavy tail: x^4 on a unit base spreads 6+ decades.
+            2 => {
+                let u = unit(&mut x);
+                1e-4 + u.powi(4) * 100.0
+            }
+            // Log-uniform across 9 decades.
+            3 => 1e-6 * (10.0f64).powf(unit(&mut x) * 9.0),
+            // Near-duplicates around one value, straddling bucket edges.
+            _ => 0.01 * (1.0 + 1e-4 * (i as f64 - n as f64 / 2.0)),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The advertised bound holds on every distribution shape, at every
+    /// probed quantile, for any sample count.
+    #[test]
+    fn sketch_tracks_oracle_on_adversarial_distributions(
+        shape in 0usize..5,
+        n in 1usize..800,
+        seed in 1u64..10_000,
+    ) {
+        let samples = generate(shape, n, seed);
+        let mut sketch = LatencySketch::new();
+        for &v in &samples {
+            sketch.record(v);
+        }
+        let mut sorted = samples;
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_within_bound(&sketch, &sorted, q);
+        }
+        prop_assert_eq!(sketch.count() as usize, sorted.len());
+        // Extremes are lossless, not just within the bound.
+        prop_assert_eq!(sketch.quantile(0.0), sorted[0]);
+        prop_assert_eq!(sketch.quantile(1.0), sorted[sorted.len() - 1]);
+    }
+
+    /// Merging is associative and commutative on quantiles: any split of
+    /// the stream across shards, folded in any order, answers exactly
+    /// what the all-at-once sketch answers.
+    #[test]
+    fn merge_is_associative_and_order_free(
+        shape in 0usize..5,
+        n in 3usize..400,
+        seed in 1u64..10_000,
+        split_seed in 0u64..1000,
+    ) {
+        let samples = generate(shape, n, seed);
+        let mut whole = LatencySketch::new();
+        let mut shards = [
+            LatencySketch::new(),
+            LatencySketch::new(),
+            LatencySketch::new(),
+        ];
+        let mut x = split_seed | 1;
+        for &v in &samples {
+            whole.record(v);
+            shards[(unit(&mut x) * 3.0) as usize % 3].record(v);
+        }
+        // (a ∪ b) ∪ c
+        let mut left = shards[0].clone();
+        left.merge(&shards[1]);
+        left.merge(&shards[2]);
+        // c ∪ (b ∪ a)
+        let mut ba = shards[1].clone();
+        ba.merge(&shards[0]);
+        let mut right = shards[2].clone();
+        right.merge(&ba);
+        for q in [0.1, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+            prop_assert_eq!(left.quantile(q), whole.quantile(q));
+        }
+        prop_assert_eq!(left.count(), whole.count());
+    }
+}
+
+/// The acceptance-criterion scale test: a 10^6-request replay. The
+/// sketch's bucket count stays bounded by the dynamic range (a sample
+/// vector would hold 8 MB; the sketch holds a few thousand entries), and
+/// `Percentiles::from_sketch` lands within the advertised error of the
+/// exact oracle over all million samples.
+#[test]
+fn million_request_replay_is_bounded_and_accurate() {
+    const N: usize = 1_000_000;
+    let mut sketch = LatencySketch::new();
+    let mut exact: Vec<f64> = Vec::with_capacity(N);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for i in 0..N {
+        // A serving-shaped mixture: mostly ~2-20 ms inter-token gaps, a
+        // prefill-heavy TTFT band at ~100-400 ms, and a preempted tail
+        // out to tens of seconds.
+        let u = unit(&mut x);
+        let v = if i % 10 == 9 {
+            0.1 + 0.3 * u
+        } else if i % 997 == 0 {
+            1.0 + 30.0 * u * u
+        } else {
+            0.002 + 0.018 * u
+        };
+        sketch.record(v);
+        exact.push(v);
+    }
+    assert_eq!(sketch.count(), N as u64);
+    // O(1) memory in the sample count: the bucket map is range-bounded.
+    assert!(
+        sketch.bucket_count() < 2500,
+        "expected a range-bounded sketch, got {} buckets for {N} samples",
+        sketch.bucket_count()
+    );
+
+    let streamed = Percentiles::from_sketch(&sketch);
+    let oracle = Percentiles::from_unsorted(exact.clone());
+    for (got, want, name) in [
+        (streamed.p50, oracle.p50, "p50"),
+        (streamed.p95, oracle.p95, "p95"),
+        (streamed.p99, oracle.p99, "p99"),
+    ] {
+        let tol = DEFAULT_SKETCH_ERROR * want.abs() + 1e-12;
+        assert!(
+            (got - want).abs() <= tol,
+            "{name}: sketch {got} vs exact {want} (tol {tol})"
+        );
+    }
+
+    // Exact extremes and count survive alongside the bounded quantiles.
+    exact.sort_by(f64::total_cmp);
+    assert_eq!(sketch.quantile(0.0), exact[0]);
+    assert_eq!(sketch.quantile(1.0), exact[N - 1]);
+}

@@ -1,0 +1,233 @@
+//! `bench_compare` — diff two `BENCH_*.json` documents metric by metric.
+//!
+//! ```bash
+//! cargo run --release --bin bench_compare -- baseline/BENCH_decode.json BENCH_decode.json
+//! ```
+//!
+//! Both files are parsed with `pit_trace`'s JSON reader, flattened to
+//! dotted numeric paths (`heavy_hitter.itl.p95`, …) and joined on path.
+//! Changes beyond the threshold (default 2%, `--threshold 0.05` for 5%)
+//! are printed worst-first and labelled **regression** / **improvement**
+//! when the metric's good direction is known (`*_per_s` and hit counters
+//! up; latencies, waste, preemptions and GPU time down), or **change**
+//! when it is not. Exit status is 0 unless `--strict` is given and a
+//! regression was found — CI runs it warn-only against the committed
+//! baselines.
+
+use pit_trace::JsonValue;
+use std::process::ExitCode;
+
+/// Flattens every numeric leaf into (dotted path, value).
+fn flatten(prefix: &str, v: &JsonValue, out: &mut Vec<(String, f64)>) {
+    match v {
+        JsonValue::Num(n) => out.push((prefix.to_string(), *n)),
+        JsonValue::Bool(b) => out.push((prefix.to_string(), f64::from(u8::from(*b)))),
+        JsonValue::Obj(entries) => {
+            for (k, child) in entries {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, child, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        JsonValue::Null | JsonValue::Str(_) => {}
+    }
+}
+
+/// Which direction is good for a metric, judged by its leaf name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+    Neutral,
+}
+
+fn direction(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let higher = [
+        "tokens_per_s",
+        "hits",
+        "hit_rate",
+        "requests",
+        "real_tokens",
+    ];
+    let lower_exact = [
+        "p50",
+        "p95",
+        "p99",
+        "gpu_time_s",
+        "wall_time_s",
+        "preemptions",
+        "recomputed_tokens",
+        "rejected",
+        "evictions",
+        "misses",
+        "swap_fallbacks",
+        "padded_tokens",
+        "processed_tokens",
+    ];
+    if higher.contains(&leaf) {
+        Direction::HigherIsBetter
+    } else if lower_exact.contains(&leaf)
+        || leaf.ends_with("_waste")
+        || leaf.ends_with("fragmentation")
+        || leaf.ends_with("_busy_s")
+    {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    flatten("", &v, &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+struct Diff {
+    path: String,
+    old: f64,
+    new: f64,
+    rel: f64,
+    dir: Direction,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 0.02_f64;
+    let mut strict = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(t)) => threshold = t,
+                _ => {
+                    eprintln!("--threshold needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict]");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict]");
+        return ExitCode::from(2);
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diffs: Vec<Diff> = Vec::new();
+    let mut only_old = 0usize;
+    let mut only_new = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some((po, vo)), Some((pn, vn))) if po == pn => {
+                let denom = vo.abs().max(1e-12);
+                diffs.push(Diff {
+                    path: po.clone(),
+                    old: *vo,
+                    new: *vn,
+                    rel: (vn - vo) / denom,
+                    dir: direction(po),
+                });
+                i += 1;
+                j += 1;
+            }
+            (Some((po, _)), Some((pn, _))) => {
+                if po < pn {
+                    only_old += 1;
+                    i += 1;
+                } else {
+                    only_new += 1;
+                    j += 1;
+                }
+            }
+            (Some(_), None) => {
+                only_old += 1;
+                i += 1;
+            }
+            (None, Some(_)) => {
+                only_new += 1;
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+
+    let mut notable: Vec<&Diff> = diffs.iter().filter(|d| d.rel.abs() >= threshold).collect();
+    notable.sort_by(|a, b| b.rel.abs().total_cmp(&a.rel.abs()));
+
+    println!(
+        "bench_compare: {} vs {} — {} shared metrics, {} beyond ±{:.1}% \
+         ({} only in old, {} only in new)",
+        old_path,
+        new_path,
+        diffs.len(),
+        notable.len(),
+        threshold * 100.0,
+        only_old,
+        only_new,
+    );
+    let mut regressions = 0usize;
+    for d in &notable {
+        let label = match (d.dir, d.rel > 0.0) {
+            (Direction::HigherIsBetter, true) | (Direction::LowerIsBetter, false) => "improvement",
+            (Direction::HigherIsBetter, false) | (Direction::LowerIsBetter, true) => {
+                regressions += 1;
+                "REGRESSION"
+            }
+            (Direction::Neutral, _) => "change",
+        };
+        println!(
+            "  {label:>11}  {:<48} {:>14.6} -> {:>14.6}  ({:+.1}%)",
+            d.path,
+            d.old,
+            d.new,
+            d.rel * 100.0
+        );
+    }
+    if notable.is_empty() {
+        println!("  no metric moved beyond the threshold");
+    }
+    println!(
+        "summary: {} regressions / {} improvements / {} neutral changes",
+        regressions,
+        notable
+            .iter()
+            .filter(|d| matches!(
+                (d.dir, d.rel > 0.0),
+                (Direction::HigherIsBetter, true) | (Direction::LowerIsBetter, false)
+            ))
+            .count(),
+        notable
+            .iter()
+            .filter(|d| d.dir == Direction::Neutral)
+            .count(),
+    );
+    if strict && regressions > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
