@@ -165,6 +165,8 @@ mod tests {
             predicted_cost_s: cost,
             dense_cost_s: cost,
             after_cover_sparsity: 0.0,
+            candidates: 1,
+            modelled_search_s: 0.0,
             search_time: Duration::ZERO,
         }
     }

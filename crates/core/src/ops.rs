@@ -254,6 +254,10 @@ impl Pit {
                 .cost
                 .dense_gemm_latency(m, k, n, tile, dtype.size_bytes(), tc),
             after_cover_sparsity: 0.0,
+            // The mask-directed path scores no candidates: the rule is
+            // fixed by the mask, so no search cost is modelled either.
+            candidates: 0,
+            modelled_search_s: 0.0,
             search_time: std::time::Duration::ZERO,
         };
         Ok(PitExecution {

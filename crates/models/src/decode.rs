@@ -196,6 +196,28 @@ impl StepShape {
     pub fn kv_write_tokens(&self) -> usize {
         self.prefill_tokens() + self.chunk_tokens() + self.decode_slots()
     }
+
+    /// Fraction of this step's attention work attributable to prefill
+    /// (whole prompts plus chunk landings), mirroring [`run_step`]'s score
+    /// weighting exactly: decode slots contribute their *streamed* K/V
+    /// rows — micro-tile-packed attended rows under PIT, whole cached
+    /// contexts under padded layouts. A pure-decode step returns 0, a
+    /// pure-prefill step 1, an empty step 0.
+    pub fn prefill_attention_fraction(&self, pit: bool) -> f64 {
+        let decode_kv = if pit {
+            self.packed_decode_tokens(KV_MICROTILE_ROWS)
+        } else {
+            self.cached_tokens()
+        };
+        let prefill_sq: f64 = self.prefill_lens.iter().map(|&l| (l * l) as f64).sum();
+        let chunk_sc: f64 = self.chunks.iter().map(|&(c, ctx)| (c * ctx) as f64).sum();
+        let total = prefill_sq + chunk_sc + decode_kv as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (prefill_sq + chunk_sc) / total
+        }
+    }
 }
 
 /// Charges one serving iteration of `cfg` — embeddings, every layer's
@@ -341,6 +363,33 @@ mod tests {
     #[should_panic(expected = "attended")]
     fn sparse_slot_rejects_attended_beyond_cached() {
         DecodeSlot::sparse(65, 64);
+    }
+
+    #[test]
+    fn prefill_attention_fraction_matches_score_weighting() {
+        assert_eq!(StepShape::default().prefill_attention_fraction(true), 0.0);
+        assert_eq!(
+            StepShape::decode(vec![512; 4]).prefill_attention_fraction(true),
+            0.0
+        );
+        assert_eq!(
+            StepShape::prefill(vec![128]).prefill_attention_fraction(false),
+            1.0
+        );
+        let mixed = StepShape {
+            prefill_lens: vec![64],
+            chunks: vec![(16, 80)],
+            decode: vec![DecodeSlot::sparse(100, 1000)],
+        };
+        // PIT streams packed attended rows (ceil(100/32)*32 = 128); a
+        // padded layout streams all 1000 cached rows — so the prefill
+        // share is higher under PIT.
+        let prefill_work = (64.0f64 * 64.0) + (16.0 * 80.0);
+        let pit = mixed.prefill_attention_fraction(true);
+        let padded = mixed.prefill_attention_fraction(false);
+        assert!((pit - prefill_work / (prefill_work + 128.0)).abs() < 1e-12);
+        assert!((padded - prefill_work / (prefill_work + 1000.0)).abs() < 1e-12);
+        assert!(pit > padded);
     }
 
     #[test]

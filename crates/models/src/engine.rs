@@ -70,6 +70,60 @@ impl Framework {
     }
 }
 
+/// Device-time ledger category of one cost record, judged by its label.
+///
+/// The taxonomy matches `pit_trace::DeviceLedger`: attention streaming
+/// (scores / softmax / context), sparse-format conversion (PIT index
+/// construction), JIT kernel search, and the dense-GEMM residual that
+/// absorbs everything else (embeddings, projections, FFN, layernorms,
+/// KV appends, launch overheads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostCategory {
+    /// Attention score/softmax/context work (`*.scores`, `*.softmax`,
+    /// `*.context`).
+    Attention,
+    /// Sparse-format conversion: PIT index building (`*.index`).
+    SparseConversion,
+    /// Algorithm-1 kernel search (`jit.search`).
+    JitSearch,
+    /// Everything else — dense GEMMs and elementwise/normalisation work.
+    DenseGemm,
+}
+
+/// Classifies a record label into its ledger category.
+pub fn categorize_label(label: &str) -> CostCategory {
+    if label.ends_with(".scores") || label.ends_with(".softmax") || label.ends_with(".context") {
+        CostCategory::Attention
+    } else if label.ends_with(".index") {
+        CostCategory::SparseConversion
+    } else if label == "jit.search" {
+        CostCategory::JitSearch
+    } else {
+        CostCategory::DenseGemm
+    }
+}
+
+/// Category totals over an engine's record stream, the raw material of
+/// the device-time ledger. Attention is one bucket here; the serving
+/// layer splits it into prefill vs decode using the step shape (the
+/// engine records one fused attention kernel per layer and cannot know
+/// which rows were prefill).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostTally {
+    /// Seconds in attention records.
+    pub attention_s: f64,
+    /// Seconds in sparse-format conversion records.
+    pub sparse_conversion_s: f64,
+    /// Seconds in JIT-search records.
+    pub jit_search_s: f64,
+    /// Seconds in everything else.
+    pub dense_s: f64,
+    /// FLOPs that served real work, summed over all records.
+    pub flops_useful: f64,
+    /// FLOPs the modelled kernels executed.
+    pub flops_executed: f64,
+}
+
 /// Host-side time PyTorch spends per expert in the sequential MoE loop
 /// (Python iteration, `index_select`, activation and two GEMM launches —
 /// roughly seven launches plus eager-mode Python dispatch per expert; order
@@ -290,6 +344,22 @@ impl Engine {
     pub fn latency_ms(&self) -> f64 {
         self.ctx.total_latency_ms()
     }
+
+    /// Sums the record stream into ledger-category totals.
+    pub fn cost_tally(&self) -> CostTally {
+        let mut tally = CostTally::default();
+        for rec in self.ctx.records() {
+            match categorize_label(&rec.name) {
+                CostCategory::Attention => tally.attention_s += rec.stats.latency_s,
+                CostCategory::SparseConversion => tally.sparse_conversion_s += rec.stats.latency_s,
+                CostCategory::JitSearch => tally.jit_search_s += rec.stats.latency_s,
+                CostCategory::DenseGemm => tally.dense_s += rec.stats.latency_s,
+            }
+            tally.flops_useful += rec.stats.flops_useful;
+            tally.flops_executed += rec.stats.flops_executed;
+        }
+        tally
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +406,42 @@ mod tests {
         assert!(multi.latency_ms() < single.latency_ms());
         multi.allreduce("ar", 64.0 * 1024.0 * 1024.0);
         assert!(multi.ctx.latency_of_s("ar") > 0.0);
+    }
+
+    #[test]
+    fn cost_tally_tiles_total_latency() {
+        let mut e = engine(Framework::Pit);
+        e.gemm("l0.qkv", 512, 1024, 3072);
+        e.gemm_flops("l0.scores", 1.0e9, 4.0e6);
+        e.softmax("l0.softmax", 512, 512);
+        e.gemm_flops("l0.context", 1.0e9, 4.0e6);
+        e.host_overhead("jit.search", 50e-6);
+        e.host_overhead("pit.index", 8e-6);
+        let t = e.cost_tally();
+        assert!(t.attention_s > 0.0);
+        assert!((t.jit_search_s - 50e-6).abs() < 1e-15);
+        assert!((t.sparse_conversion_s - 8e-6).abs() < 1e-15);
+        assert!(t.dense_s > 0.0);
+        let sum = t.attention_s + t.sparse_conversion_s + t.jit_search_s + t.dense_s;
+        let total = e.latency_ms() / 1e3;
+        assert!((sum - total).abs() <= 1e-12 * total.max(1.0));
+        assert!(t.flops_useful > 0.0);
+        assert!(t.flops_executed >= t.flops_useful);
+    }
+
+    #[test]
+    fn categorize_matches_run_step_labels() {
+        assert_eq!(categorize_label("l7.scores"), CostCategory::Attention);
+        assert_eq!(categorize_label("l7.softmax"), CostCategory::Attention);
+        assert_eq!(categorize_label("l7.context"), CostCategory::Attention);
+        assert_eq!(
+            categorize_label("pit.index"),
+            CostCategory::SparseConversion
+        );
+        assert_eq!(categorize_label("jit.search"), CostCategory::JitSearch);
+        for dense in ["embed", "l7.qkv", "l7.out", "l7.fc1", "l7.act", "head"] {
+            assert_eq!(categorize_label(dense), CostCategory::DenseGemm);
+        }
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod training;
 
 pub use configs::{AttnKind, ModelConfig, MoeConfig};
 pub use decode::{run_step, DecodeSlot, StepShape, KV_MICROTILE_ROWS};
-pub use engine::{Engine, Framework};
+pub use engine::{categorize_label, CostCategory, CostTally, Engine, Framework};
 pub use inference::{run_inference, RunResult};

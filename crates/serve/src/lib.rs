@@ -51,7 +51,13 @@
 //!   serializes whole via `DecodeReport::to_json`. Latency distributions
 //!   stream into `pit_trace::LatencySketch`es (bounded memory, 1%
 //!   relative-error percentiles); the exact
-//!   [`Percentiles::from_unsorted`] survives as the test oracle.
+//!   [`Percentiles::from_unsorted`] survives as the test oracle. Both
+//!   reports also carry a `pit_trace::DeviceLedger` — every modelled
+//!   cost attributed into a fixed taxonomy (prefill/decode attention,
+//!   dense GEMM, sparse conversion, JIT search, swap stalls, idle) with
+//!   exact conservation — plus the derived utilization (busy fraction,
+//!   MFU, link bytes), and render as Prometheus text via
+//!   `ServingReport::exposition` / `DecodeReport::exposition`.
 //!
 //! Observability: [`decode::simulate_decode_trace_traced`] records every
 //! request-lifecycle event (admission, prefill chunks, tokens,
@@ -75,7 +81,7 @@ pub use decode::{
 pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles, ServingReport};
 pub use queue::BoundedQueue;
 pub use runtime::{
-    batch_gpu_seconds, serve_trace, serve_trace_arrivals, simulate_trace, simulate_trace_arrivals,
-    AdmissionMode, ServeConfig,
+    batch_gpu_seconds, batch_step_sample, serve_trace, serve_trace_arrivals, simulate_trace,
+    simulate_trace_arrivals, AdmissionMode, ServeConfig,
 };
 pub use scheduler::{BatchPolicy, FormedBatch};

@@ -10,7 +10,9 @@
 //! running the simulation.
 
 use crate::scheduler::FormedBatch;
-use pit_trace::{BreakdownSummary, LatencySketch};
+use pit_trace::{
+    BreakdownSummary, DeviceLedger, Exposition, LatencySketch, StepSample, Utilization,
+};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -115,6 +117,7 @@ pub struct Metrics {
     batches: AtomicUsize,
     gpu_nanos: AtomicU64,
     rejected: AtomicUsize,
+    ledger: Mutex<DeviceLedger>,
 }
 
 impl Metrics {
@@ -148,6 +151,25 @@ impl Metrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Charges one executed batch's category split to the device-time
+    /// ledger (workers call this next to `record_batch`).
+    pub fn charge_step(&self, sample: &StepSample) {
+        self.ledger
+            .lock()
+            .expect("metrics poisoned")
+            .charge_step(sample);
+    }
+
+    /// Charges virtual-clock seconds the modelled device sat idle
+    /// (deterministic replays only; the threaded runtime's device clock
+    /// is busy-only).
+    pub fn charge_idle(&self, seconds: f64) {
+        self.ledger
+            .lock()
+            .expect("metrics poisoned")
+            .charge_idle(seconds);
+    }
+
     /// Freezes the collector into a report.
     pub fn report(
         &self,
@@ -157,6 +179,7 @@ impl Metrics {
         cache: CacheStats,
     ) -> ServingReport {
         let latencies = self.latencies_s.lock().expect("metrics poisoned").clone();
+        let ledger = self.ledger.lock().expect("metrics poisoned").clone();
         ServingReport {
             policy: policy.to_string(),
             requests: latencies.count() as usize,
@@ -170,6 +193,8 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             windows: None,
             cache,
+            utilization: ledger.utilization(),
+            ledger,
         }
     }
 }
@@ -204,6 +229,11 @@ pub struct ServingReport {
     pub windows: Option<Vec<pit_trace::WindowStat>>,
     /// Shared JIT-cache counters for the run.
     pub cache: CacheStats,
+    /// Device-time ledger: categories tile busy time exactly, and busy +
+    /// stalls + idle tile the virtual clock (`ledger.conserved()`).
+    pub ledger: DeviceLedger,
+    /// Busy fraction, FLOP efficiency and link traffic from the ledger.
+    pub utilization: Utilization,
 }
 
 impl ServingReport {
@@ -228,6 +258,151 @@ impl ServingReport {
         }
         self.requests as f64 / self.batches as f64
     }
+
+    /// The run's metrics as a Prometheus text exposition (counters,
+    /// gauges and sketch-backed latency quantiles), ready to write next
+    /// to the bench JSON.
+    pub fn exposition(&self) -> Exposition {
+        let mut out = Exposition::new();
+        out.counter(
+            "pit_requests_total",
+            "Requests completed",
+            self.requests as f64,
+        );
+        out.counter(
+            "pit_rejected_total",
+            "Requests shed at admission",
+            self.rejected as f64,
+        );
+        out.counter(
+            "pit_batches_total",
+            "Batches formed and executed",
+            self.batches as f64,
+        );
+        out.counter(
+            "pit_real_tokens_total",
+            "Real tokens served",
+            self.real_tokens as f64,
+        );
+        out.counter(
+            "pit_processed_tokens_total",
+            "Token rows the modelled GPU processed",
+            self.padded_tokens as f64,
+        );
+        out.gauge(
+            "pit_padding_waste_fraction",
+            "Fraction of processed tokens that were padding",
+            self.padding_waste(),
+        );
+        out.gauge(
+            "pit_tokens_per_second",
+            "Real tokens per modelled GPU second",
+            self.tokens_per_s(),
+        );
+        out.summary_quantiles(
+            "pit_request_latency_seconds",
+            "End-to-end request latency (sketch-backed quantiles)",
+            &[
+                (0.50, self.latency.p50),
+                (0.95, self.latency.p95),
+                (0.99, self.latency.p99),
+            ],
+            None,
+            Some(self.requests as u64),
+        );
+        ledger_exposition(&mut out, &self.ledger);
+        out
+    }
+}
+
+/// Appends the device-time ledger's families to an exposition (shared by
+/// both report kinds).
+fn ledger_exposition(out: &mut Exposition, ledger: &DeviceLedger) {
+    let u = ledger.utilization();
+    out.gauge(
+        "pit_device_busy_fraction",
+        "Device busy seconds over the virtual clock",
+        u.busy_fraction,
+    );
+    out.gauge(
+        "pit_device_mfu",
+        "Useful over executed FLOPs (model FLOP utilisation)",
+        u.mfu,
+    );
+    for (name, help, ps) in [
+        (
+            "pit_device_prefill_attention_seconds_total",
+            "Busy seconds in prefill attention",
+            ledger.prefill_attention_ps,
+        ),
+        (
+            "pit_device_decode_attention_seconds_total",
+            "Busy seconds in decode attention",
+            ledger.decode_attention_ps,
+        ),
+        (
+            "pit_device_dense_gemm_seconds_total",
+            "Busy seconds in dense GEMM and elementwise work",
+            ledger.dense_gemm_ps,
+        ),
+        (
+            "pit_device_sparse_conversion_seconds_total",
+            "Busy seconds building sparse-format indices",
+            ledger.sparse_conversion_ps,
+        ),
+        (
+            "pit_device_jit_search_seconds_total",
+            "Busy seconds in Algorithm-1 kernel search",
+            ledger.jit_search_ps,
+        ),
+        (
+            "pit_device_busy_seconds_total",
+            "Device busy seconds (sum of the category counters)",
+            ledger.busy_ps,
+        ),
+        (
+            "pit_device_swap_d2h_stall_seconds_total",
+            "Virtual-clock seconds stalled on device-to-host swaps",
+            ledger.swap_d2h_stall_ps,
+        ),
+        (
+            "pit_device_swap_h2d_stall_seconds_total",
+            "Virtual-clock seconds stalled on host-to-device restores",
+            ledger.swap_h2d_stall_ps,
+        ),
+        (
+            "pit_device_idle_seconds_total",
+            "Virtual-clock seconds the device sat idle",
+            ledger.idle_ps,
+        ),
+        (
+            "pit_device_clock_seconds_total",
+            "Virtual clock covered by the ledger",
+            ledger.clock_ps,
+        ),
+    ] {
+        out.counter(name, help, ps as f64 / 1e12);
+    }
+    out.counter(
+        "pit_link_d2h_bytes_total",
+        "Bytes moved device to host over the swap link",
+        u.d2h_bytes as f64,
+    );
+    out.counter(
+        "pit_link_h2d_bytes_total",
+        "Bytes moved host to device over the swap link",
+        u.h2d_bytes as f64,
+    );
+    out.counter(
+        "pit_jit_searches_total",
+        "Algorithm-1 searches actually run (cache misses)",
+        ledger.jit_searches as f64,
+    );
+    out.gauge(
+        "pit_jit_search_measured_seconds",
+        "Measured search wall time (annotation; the modelled cost is charged)",
+        ledger.jit_search_measured_s,
+    );
 }
 
 impl fmt::Display for ServingReport {
@@ -269,6 +444,13 @@ impl fmt::Display for ServingReport {
             self.cache.misses,
             self.cache.evictions,
             self.cache.hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "\n  device: busy {:.1}% of {:.4} s virtual clock; mfu {:.1}%",
+            self.utilization.busy_fraction * 100.0,
+            self.ledger.clock_s(),
+            self.utilization.mfu * 100.0,
         )?;
         if let Some(w) = &self.windows {
             let width = if w.len() >= 2 {
@@ -331,6 +513,7 @@ pub struct DecodeMetrics {
     host_occupancy_samples: usize,
     swap: Option<pit_swap::SwapStats>,
     breakdown: Option<BreakdownSummary>,
+    ledger: DeviceLedger,
 }
 
 impl DecodeMetrics {
@@ -455,9 +638,39 @@ impl DecodeMetrics {
         self.host_occupancy_samples += 1;
     }
 
-    /// Attaches the swap engine's end-of-run transfer counters.
+    /// Attaches the swap engine's end-of-run transfer counters and folds
+    /// its per-link byte/busy totals into the ledger.
     pub fn set_swap(&mut self, stats: pit_swap::SwapStats) {
+        let ((d2h_bytes, d2h_busy_s), (h2d_bytes, h2d_busy_s)) = stats.link_counters();
+        self.ledger
+            .add_link_counters(d2h_bytes, d2h_busy_s, h2d_bytes, h2d_busy_s);
         self.swap = Some(stats);
+    }
+
+    /// Charges one executed step's category split to the device-time
+    /// ledger (called next to `record_step`; kept separate because
+    /// `record_step` is also fed by paths that count tokens without an
+    /// engine tally).
+    pub fn charge_step(&mut self, sample: &StepSample) {
+        self.ledger.charge_step(sample);
+    }
+
+    /// Charges virtual-clock seconds the device sat idle (no arrivals,
+    /// nothing restorable in flight).
+    pub fn charge_idle(&mut self, seconds: f64) {
+        self.ledger.charge_idle(seconds);
+    }
+
+    /// Charges virtual-clock seconds the step loop stalled behind a
+    /// device-to-host swap transfer.
+    pub fn charge_d2h_stall(&mut self, seconds: f64) {
+        self.ledger.charge_d2h_stall(seconds);
+    }
+
+    /// Charges virtual-clock seconds the step loop stalled waiting for a
+    /// host-to-device restore to land.
+    pub fn charge_h2d_stall(&mut self, seconds: f64) {
+        self.ledger.charge_h2d_stall(seconds);
     }
 
     /// Records one inter-token gap (seconds between consecutive tokens of
@@ -518,6 +731,8 @@ impl DecodeMetrics {
             kv_mean_fragmentation: self.fragmentation_sum / n,
             breakdown: self.breakdown,
             cache,
+            utilization: self.ledger.utilization(),
+            ledger: self.ledger,
         }
     }
 }
@@ -618,6 +833,11 @@ pub struct DecodeReport {
     pub breakdown: Option<BreakdownSummary>,
     /// Shared JIT-cache counters.
     pub cache: CacheStats,
+    /// Device-time ledger: categories tile busy time exactly, and busy +
+    /// stalls + idle tile the virtual clock (`ledger.conserved()`).
+    pub ledger: DeviceLedger,
+    /// Busy fraction, FLOP efficiency and link traffic from the ledger.
+    pub utilization: Utilization,
 }
 
 impl DecodeReport {
@@ -669,6 +889,93 @@ impl DecodeReport {
             return 0.0;
         }
         self.prefix_hits as f64 / total as f64
+    }
+
+    /// The run's metrics as a Prometheus text exposition (counters,
+    /// gauges and sketch-backed latency quantiles), ready to write next
+    /// to the bench JSON.
+    pub fn exposition(&self) -> Exposition {
+        let mut out = Exposition::new();
+        out.counter(
+            "pit_requests_total",
+            "Requests served to completion",
+            self.requests as f64,
+        );
+        out.counter(
+            "pit_iterations_total",
+            "Mixed prefill/decode iterations executed",
+            self.iterations as f64,
+        );
+        out.counter(
+            "pit_real_tokens_total",
+            "Goodput tokens served",
+            self.real_tokens as f64,
+        );
+        out.counter(
+            "pit_processed_tokens_total",
+            "Token rows the modelled GPU processed",
+            self.processed_tokens as f64,
+        );
+        out.counter(
+            "pit_recomputed_tokens_total",
+            "Context tokens re-prefilled after recompute preemption",
+            self.recomputed_tokens as f64,
+        );
+        out.gauge(
+            "pit_tokens_per_second",
+            "Goodput tokens per modelled GPU second",
+            self.tokens_per_s(),
+        );
+        out.gauge(
+            "pit_kv_attended_fraction",
+            "Fraction of cached KV tokens decode slots attended",
+            self.attended_fraction(),
+        );
+        out.summary_quantiles(
+            "pit_ttft_seconds",
+            "Time to first token (sketch-backed quantiles)",
+            &[
+                (0.50, self.ttft.p50),
+                (0.95, self.ttft.p95),
+                (0.99, self.ttft.p99),
+            ],
+            None,
+            Some(self.requests as u64),
+        );
+        out.summary_quantiles(
+            "pit_itl_seconds",
+            "Inter-token latency (sketch-backed quantiles)",
+            &[
+                (0.50, self.itl.p50),
+                (0.95, self.itl.p95),
+                (0.99, self.itl.p99),
+            ],
+            None,
+            None,
+        );
+        out.summary_quantiles(
+            "pit_e2e_seconds",
+            "End-to-end request latency (sketch-backed quantiles)",
+            &[
+                (0.50, self.e2e.p50),
+                (0.95, self.e2e.p95),
+                (0.99, self.e2e.p99),
+            ],
+            None,
+            Some(self.requests as u64),
+        );
+        out.counter(
+            "pit_swap_preemptions_total",
+            "Preemptions resolved by swapping to the host tier",
+            self.swap_preemptions as f64,
+        );
+        out.counter(
+            "pit_restores_total",
+            "Swapped sequences restored to the device",
+            self.restores as f64,
+        );
+        ledger_exposition(&mut out, &self.ledger);
+        out
     }
 }
 
@@ -785,6 +1092,17 @@ impl fmt::Display for DecodeReport {
             self.kv_mean_occupancy * 100.0,
             self.kv_peak_occupancy * 100.0,
             self.kv_mean_fragmentation * 100.0
+        )?;
+        writeln!(
+            f,
+            "  device: busy {:.1}% of {:.4} s virtual clock (stalls d2h {:.2} ms / h2d {:.2} ms, \
+             idle {:.2} ms); mfu {:.1}%",
+            self.utilization.busy_fraction * 100.0,
+            self.ledger.clock_s(),
+            self.ledger.swap_d2h_stall_ps as f64 / 1e9,
+            self.ledger.swap_h2d_stall_ps as f64 / 1e9,
+            self.ledger.idle_ps as f64 / 1e9,
+            self.utilization.mfu * 100.0,
         )?;
         write!(
             f,
@@ -1018,6 +1336,89 @@ mod tests {
         assert_eq!(r.attended_fraction(), 1.0);
         assert_eq!(r.sparsity_dropped_pages, 0);
         assert!(!r.to_string().contains("kv sparsity"));
+    }
+
+    #[test]
+    fn decode_collector_ledger_conserves_and_exposes() {
+        let mut m = DecodeMetrics::new();
+        m.charge_idle(0.010);
+        m.charge_step(&StepSample {
+            gpu_s: 0.5,
+            prefill_attention_s: 0.2,
+            decode_attention_s: 0.1,
+            sparse_conversion_s: 0.01,
+            jit_search_s: 0.001,
+            flops_useful: 8e12,
+            flops_executed: 10e12,
+            jit_searches: 1,
+            jit_search_measured_s: 0.0002,
+        });
+        m.record_step(0, 8, 8, 0.5, 0.4, 0.1);
+        m.charge_d2h_stall(0.002);
+        m.charge_h2d_stall(0.003);
+        let eng = pit_swap::SwapEngine::new(&pit_gpusim::DeviceSpec::a100_80gb(), 1 << 20);
+        m.set_swap(eng.stats());
+        m.record_e2e(0.5);
+        let kv = pit_kv::PagedKvCache::new(pit_kv::KvConfig::new(16, 8)).stats();
+        let cache = CacheStats {
+            hits: 0,
+            misses: 1,
+            evictions: 0,
+        };
+        let r = m.report("continuous", kv, cache);
+        assert!(r.ledger.conserved(), "categories must tile the clock");
+        assert!((r.ledger.busy_s() - 0.5).abs() < 1e-9);
+        assert!((r.ledger.clock_s() - 0.515).abs() < 1e-9);
+        assert!((r.utilization.busy_fraction - 0.5 / 0.515).abs() < 1e-9);
+        assert!((r.utilization.mfu - 0.8).abs() < 1e-9);
+        assert_eq!(r.ledger.jit_searches, 1);
+        assert!(r.to_string().contains("mfu"));
+        // The exposition renders, parses back, and covers the taxonomy.
+        let text = r.exposition().render();
+        let parsed = pit_trace::parse_exposition(&text).expect("valid exposition");
+        assert_eq!(parsed, r.exposition());
+        for family in [
+            "pit_device_busy_fraction",
+            "pit_device_mfu",
+            "pit_device_prefill_attention_seconds_total",
+            "pit_device_idle_seconds_total",
+            "pit_ttft_seconds",
+            "pit_link_d2h_bytes_total",
+        ] {
+            assert!(
+                parsed.families().iter().any(|f| f.name == family),
+                "missing {family} in exposition"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_collector_ledger_reaches_the_report() {
+        let m = Metrics::new();
+        m.charge_idle(0.25);
+        m.charge_step(&StepSample {
+            gpu_s: 0.75,
+            prefill_attention_s: 0.5,
+            ..Default::default()
+        });
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        let r = m.report("padding-free", 1.0, 0, cache);
+        assert!(r.ledger.conserved());
+        assert!((r.ledger.busy_s() - 0.75).abs() < 1e-9);
+        assert!((r.utilization.busy_fraction - 0.75).abs() < 1e-9);
+        // All attention in the serving forward pass is prefill.
+        assert_eq!(r.ledger.decode_attention_ps, 0);
+        let text = r.exposition().render();
+        assert!(text.contains("# TYPE pit_requests_total counter"));
+        assert!(text.contains("pit_device_busy_fraction"));
+        assert_eq!(
+            pit_trace::parse_exposition(&text).expect("valid"),
+            r.exposition()
+        );
     }
 
     #[test]

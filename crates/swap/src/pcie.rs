@@ -185,6 +185,18 @@ pub struct SwapStats {
     pub h2d_busy_s: f64,
 }
 
+impl SwapStats {
+    /// Per-link `(bytes, busy seconds)` pairs, `(d2h, h2d)` — the shape
+    /// observability ledgers fold link traffic in as (this crate stays
+    /// independent of any metrics sink).
+    pub fn link_counters(&self) -> ((u64, f64), (u64, f64)) {
+        (
+            (self.out_bytes, self.d2h_busy_s),
+            (self.in_bytes, self.h2d_busy_s),
+        )
+    }
+}
+
 impl fmt::Display for SwapStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

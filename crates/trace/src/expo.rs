@@ -1,0 +1,450 @@
+//! Prometheus-style text exposition.
+//!
+//! Renders counters, gauges and sketch-backed summaries in the
+//! text-based exposition format (`# HELP` / `# TYPE` comment lines, one
+//! sample per line), so every report can be dropped next to the
+//! `BENCH_*.json` artifacts as a scrapeable `METRICS_*.prom` file.
+//!
+//! The writer is deliberately small and deterministic: families render
+//! in insertion order, sample values use Rust's shortest-round-trip
+//! float formatting, and the companion [`parse_exposition`] line-format
+//! parser reads the output back losslessly — `render ∘ parse ∘ render`
+//! is the identity on writer output, which is what the round-trip
+//! property test pins.
+
+use crate::sketch::LatencySketch;
+use std::fmt::Write as _;
+
+/// Metric kind, as written on the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone cumulative count.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Quantile summary (`{quantile="q"}` samples plus `_sum`/`_count`).
+    Summary,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "counter" => MetricKind::Counter,
+            "gauge" => MetricKind::Gauge,
+            "summary" => MetricKind::Summary,
+            _ => return None,
+        })
+    }
+}
+
+/// One sample line of a family: `name+suffix{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Appended to the family name (`""`, `"_sum"`, `"_count"`).
+    pub suffix: String,
+    /// Label pairs, rendered in order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// One metric family: a `# HELP`/`# TYPE` header plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Help text (single line).
+    pub help: String,
+    /// Kind on the `# TYPE` line.
+    pub kind: MetricKind,
+    /// Sample lines.
+    pub samples: Vec<Sample>,
+}
+
+/// A deterministic exposition document under construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    families: Vec<MetricFamily>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Escapes a HELP text: backslash and newline, per the format spec.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double-quote and newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a value the way the writer does: shortest-round-trip decimal
+/// for finite values, Prometheus spellings for the rest.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s.parse().map_err(|e| format!("bad value {s:?}: {e}")),
+    }
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The families added so far.
+    pub fn families(&self) -> &[MetricFamily] {
+        &self.families
+    }
+
+    fn push(&mut self, name: &str, help: &str, kind: MetricKind, samples: Vec<Sample>) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        self.families.push(MetricFamily {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples,
+        });
+    }
+
+    /// Adds a counter family with one unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) {
+        self.push(
+            name,
+            help,
+            MetricKind::Counter,
+            vec![Sample {
+                suffix: String::new(),
+                labels: Vec::new(),
+                value,
+            }],
+        );
+    }
+
+    /// Adds a gauge family with one unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.push(
+            name,
+            help,
+            MetricKind::Gauge,
+            vec![Sample {
+                suffix: String::new(),
+                labels: Vec::new(),
+                value,
+            }],
+        );
+    }
+
+    /// Adds a summary family from explicit `(quantile, value)` pairs plus
+    /// optional `_sum` / `_count` samples.
+    pub fn summary_quantiles(
+        &mut self,
+        name: &str,
+        help: &str,
+        quantiles: &[(f64, f64)],
+        sum: Option<f64>,
+        count: Option<u64>,
+    ) {
+        let mut samples: Vec<Sample> = quantiles
+            .iter()
+            .map(|&(q, v)| Sample {
+                suffix: String::new(),
+                labels: vec![("quantile".to_string(), format_value(q))],
+                value: v,
+            })
+            .collect();
+        if let Some(s) = sum {
+            samples.push(Sample {
+                suffix: "_sum".to_string(),
+                labels: Vec::new(),
+                value: s,
+            });
+        }
+        if let Some(c) = count {
+            samples.push(Sample {
+                suffix: "_count".to_string(),
+                labels: Vec::new(),
+                value: c as f64,
+            });
+        }
+        self.push(name, help, MetricKind::Summary, samples);
+    }
+
+    /// Adds a summary family backed by a [`LatencySketch`]: the given
+    /// quantiles plus `_sum` and `_count`.
+    pub fn summary(&mut self, name: &str, help: &str, sketch: &LatencySketch, quantiles: &[f64]) {
+        let qs: Vec<(f64, f64)> = quantiles.iter().map(|&q| (q, sketch.quantile(q))).collect();
+        self.summary_quantiles(name, help, &qs, Some(sketch.sum()), Some(sketch.count()));
+    }
+
+    /// Renders the document in the text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.as_str());
+            for s in &f.samples {
+                out.push_str(&f.name);
+                out.push_str(&s.suffix);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                    }
+                    out.push('}');
+                }
+                let _ = writeln!(out, " {}", format_value(s.value));
+            }
+        }
+        out
+    }
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("bad label syntax in {{{s}}}"));
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => val.push('\n'),
+                    Some('\\') => val.push('\\'),
+                    Some('"') => val.push('"'),
+                    _ => return Err(format!("bad escape in label value of {{{s}}}")),
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => return Err(format!("unterminated label value in {{{s}}}")),
+            }
+        }
+        labels.push((key, val));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected {c:?} after label in {{{s}}}")),
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses writer output back into an [`Exposition`]. Samples must follow
+/// their family's `# TYPE` line and sample names must extend the family
+/// name; anything else is an error — this is a round-trip checker for
+/// [`Exposition::render`], not a general scraper.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |m: &str| format!("line {}: {m}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n.to_string(), unescape_help(h)))
+                .unwrap_or_else(|| (rest.to_string(), String::new()));
+            pending_help = Some((name, help));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("TYPE line without a kind"))?;
+            let kind = MetricKind::parse(kind).ok_or_else(|| err("unknown metric kind"))?;
+            if !valid_name(name) {
+                return Err(err("invalid metric name"));
+            }
+            let help = match pending_help.take() {
+                Some((hn, help)) if hn == name => help,
+                _ => return Err(err("TYPE line without a matching HELP line")),
+            };
+            expo.families.push(MetricFamily {
+                name: name.to_string(),
+                help,
+                kind,
+                samples: Vec::new(),
+            });
+        } else if line.starts_with('#') {
+            continue; // plain comment
+        } else {
+            let family = expo
+                .families
+                .last_mut()
+                .ok_or_else(|| err("sample before any TYPE line"))?;
+            let (name_part, rest) = match line.find(['{', ' ']) {
+                Some(i) => line.split_at(i),
+                None => return Err(err("sample line without a value")),
+            };
+            let (labels, value_part) = if let Some(body) = rest.strip_prefix('{') {
+                let (body, tail) = body
+                    .split_once('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                (parse_labels(body).map_err(|m| err(&m))?, tail.trim_start())
+            } else {
+                (Vec::new(), rest.trim_start())
+            };
+            let suffix = name_part
+                .strip_prefix(family.name.as_str())
+                .ok_or_else(|| err("sample name does not extend its family"))?;
+            family.samples.push(Sample {
+                suffix: suffix.to_string(),
+                labels,
+                value: parse_value(value_part).map_err(|m| err(&m))?,
+            });
+        }
+    }
+    Ok(expo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_all_three_kinds() {
+        let mut e = Exposition::new();
+        e.counter("pit_requests_total", "Requests served", 48.0);
+        e.gauge("pit_busy_fraction", "Device busy fraction", 0.8173);
+        let mut sk = LatencySketch::new();
+        for i in 1..=100 {
+            sk.record(i as f64 * 1e-3);
+        }
+        e.summary(
+            "pit_ttft_seconds",
+            "Time to first token",
+            &sk,
+            &[0.5, 0.95, 0.99],
+        );
+        let text = e.render();
+        assert!(text.contains("# TYPE pit_requests_total counter"));
+        assert!(text.contains("# HELP pit_busy_fraction Device busy fraction"));
+        assert!(text.contains("pit_ttft_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("pit_ttft_seconds_count 100"));
+        let parsed = parse_exposition(&text).expect("writer output parses");
+        assert_eq!(parsed, e, "round trip is lossless");
+        assert_eq!(parsed.render(), text, "re-render is the identity");
+    }
+
+    #[test]
+    fn values_round_trip_exactly_including_nonfinite() {
+        let mut e = Exposition::new();
+        e.gauge("awkward", "shortest-repr floats", 0.1 + 0.2);
+        e.gauge("tiny", "denormal-ish", 4.9e-300);
+        e.gauge("nan", "not a number", f64::NAN);
+        e.gauge("inf", "positive infinity", f64::INFINITY);
+        let parsed = parse_exposition(&e.render()).expect("parses");
+        let vals: Vec<f64> = parsed
+            .families()
+            .iter()
+            .map(|f| f.samples[0].value)
+            .collect();
+        assert_eq!(vals[0], 0.1 + 0.2);
+        assert_eq!(vals[1], 4.9e-300);
+        assert!(vals[2].is_nan());
+        assert_eq!(vals[3], f64::INFINITY);
+    }
+
+    #[test]
+    fn help_and_label_escapes_survive() {
+        let mut e = Exposition::new();
+        e.push(
+            "escaped",
+            "multi\nline \\ help",
+            MetricKind::Gauge,
+            vec![Sample {
+                suffix: String::new(),
+                labels: vec![("path".into(), "a\"b\\c\nd".into())],
+                value: 1.0,
+            }],
+        );
+        let text = e.render();
+        let parsed = parse_exposition(&text).expect("parses");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected_at_write_time() {
+        Exposition::new().gauge("0bad name", "nope", 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("orphan_sample 1.0").is_err());
+        assert!(parse_exposition("# TYPE lonely gauge").is_err());
+        assert!(
+            parse_exposition("# HELP x h\n# TYPE x gauge\nx{l=\"v\" 1.0").is_err(),
+            "unterminated label set"
+        );
+        assert!(parse_exposition("# HELP x h\n# TYPE x widget\nx 1").is_err());
+        assert!(parse_exposition("# HELP y h\n# TYPE y gauge\nz 1").is_err());
+    }
+}

@@ -21,20 +21,37 @@
 //!   vendored serde only writes), used by `tools/bench_compare` and the
 //!   export validity tests;
 //! - [`WindowSeries`] — per-window admitted/rejected/queue-depth series
-//!   for open-loop bursty replays.
+//!   for open-loop bursty replays;
+//! - [`DeviceLedger`] — the device-time ledger: every modelled
+//!   GPU-second attributed into a fixed category taxonomy with *exact*
+//!   (integer-picosecond) conservation — categories tile busy time,
+//!   busy + stalls + idle tile the virtual clock — plus a
+//!   [`Utilization`] digest (busy fraction, MFU, link bytes);
+//! - [`Exposition`] / [`parse_exposition`] — Prometheus-style text
+//!   exposition writer (counters, gauges, sketch-backed summaries) and
+//!   the line-format parser that round-trips it;
+//! - [`SloMonitor`] — windowed TTFT/ITL SLO attainment and burn-rate
+//!   gauges folded from latency observations, the admission window
+//!   series and the ledger.
 
 mod breakdown;
 mod chrome;
+mod expo;
 pub mod json;
+mod ledger;
 mod sink;
 mod sketch;
+mod slo;
 mod windows;
 
 pub use breakdown::{reduce_spans, BreakdownSummary, SpanBreakdown};
 pub use chrome::chrome_trace_json;
+pub use expo::{parse_exposition, Exposition, MetricFamily, MetricKind, Sample};
 pub use json::JsonValue;
+pub use ledger::{DeviceLedger, StepSample, Utilization};
 pub use sink::{
     TraceEvent, TraceRecord, TraceSink, DEVICE_LANE, LINK_D2H_LANE, LINK_H2D_LANE, RESERVED_LANES,
 };
 pub use sketch::{LatencySketch, DEFAULT_SKETCH_ERROR};
+pub use slo::{SloMonitor, SloReport, SloTarget, SloWindowReport};
 pub use windows::{WindowSeries, WindowStat};

@@ -1,0 +1,389 @@
+//! Windowed SLO monitor: rolling TTFT/ITL attainment and burn rate.
+//!
+//! Folds per-request latency observations — recorded directly, replayed
+//! from a drained [`TraceRecord`] stream, or joined with the per-window
+//! admission series — into fixed-width windows, and reports per-window
+//! and whole-run **SLO attainment** (fraction of observations within
+//! target) plus the **burn rate** familiar from SRE error budgets:
+//!
+//! ```text
+//! burn = (1 − attainment) / (1 − objective)
+//! ```
+//!
+//! Burn 1.0 means the run consumes its error budget exactly as fast as
+//! the objective allows; above 1.0 the budget is burning down. Rejected
+//! admissions count as TTFT misses — a request that never got a first
+//! token failed its latency objective by any reading. The device-time
+//! ledger joins at report time: its busy fraction is the gauge that says
+//! whether an SLO burn came with a saturated device (capacity) or an
+//! idle one (scheduling).
+
+use crate::ledger::DeviceLedger;
+use crate::sink::{TraceEvent, TraceRecord, RESERVED_LANES};
+use crate::windows::WindowStat;
+use std::collections::BTreeMap;
+
+/// The service-level targets a run is held to.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SloTarget {
+    /// Time-to-first-token target (seconds).
+    pub ttft_s: f64,
+    /// Inter-token latency target (seconds).
+    pub itl_s: f64,
+    /// Attainment objective in (0, 1), e.g. 0.99 for "99% of requests
+    /// within target".
+    pub objective: f64,
+}
+
+/// Per-window observation counts (internal accumulator).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Counts {
+    ttft_total: u64,
+    ttft_ok: u64,
+    itl_total: u64,
+    itl_ok: u64,
+}
+
+/// Accumulates TTFT/ITL observations into fixed-width windows.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    target: SloTarget,
+    window_s: f64,
+    windows: Vec<Counts>,
+}
+
+/// One window's attainment digest.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SloWindowReport {
+    /// Window start time (seconds).
+    pub start_s: f64,
+    /// TTFT observations in the window (rejections included).
+    pub ttft_total: u64,
+    /// TTFT observations within target.
+    pub ttft_ok: u64,
+    /// ITL observations in the window.
+    pub itl_total: u64,
+    /// ITL observations within target.
+    pub itl_ok: u64,
+    /// TTFT attainment (1.0 when the window saw no observations).
+    pub ttft_attainment: f64,
+    /// ITL attainment.
+    pub itl_attainment: f64,
+    /// Window burn rate from the worse of the two attainments.
+    pub burn_rate: f64,
+}
+
+/// The monitor's rolled-up report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SloReport {
+    /// The targets the run was held to.
+    pub target: SloTarget,
+    /// Window width (seconds).
+    pub window_s: f64,
+    /// Whole-run TTFT attainment.
+    pub ttft_attainment: f64,
+    /// Whole-run ITL attainment.
+    pub itl_attainment: f64,
+    /// Whole-run TTFT burn rate.
+    pub ttft_burn_rate: f64,
+    /// Whole-run ITL burn rate.
+    pub itl_burn_rate: f64,
+    /// The hottest single window's burn rate.
+    pub worst_window_burn_rate: f64,
+    /// Device busy fraction from the joined ledger (`None` without one).
+    pub busy_fraction: Option<f64>,
+    /// Per-window digests.
+    pub windows: Vec<SloWindowReport>,
+}
+
+fn attainment(ok: u64, total: u64) -> f64 {
+    if total == 0 {
+        1.0
+    } else {
+        ok as f64 / total as f64
+    }
+}
+
+impl SloMonitor {
+    /// A monitor holding runs to `target` over `window_s`-wide windows.
+    pub fn new(target: SloTarget, window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window width must be positive");
+        assert!(
+            target.objective > 0.0 && target.objective < 1.0,
+            "objective must be in (0, 1), got {}",
+            target.objective
+        );
+        assert!(
+            target.ttft_s > 0.0 && target.itl_s > 0.0,
+            "latency targets must be positive"
+        );
+        SloMonitor {
+            target,
+            window_s,
+            windows: Vec::new(),
+        }
+    }
+
+    fn window_at(&mut self, t_s: f64) -> &mut Counts {
+        let idx = (t_s.max(0.0) / self.window_s) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, Counts::default());
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Records one time-to-first-token observation at time `t_s`.
+    pub fn record_ttft(&mut self, t_s: f64, ttft_s: f64) {
+        let target = self.target.ttft_s;
+        let w = self.window_at(t_s);
+        w.ttft_total += 1;
+        w.ttft_ok += u64::from(ttft_s <= target);
+    }
+
+    /// Records one inter-token-latency observation at time `t_s`.
+    pub fn record_itl(&mut self, t_s: f64, itl_s: f64) {
+        let target = self.target.itl_s;
+        let w = self.window_at(t_s);
+        w.itl_total += 1;
+        w.itl_ok += u64::from(itl_s <= target);
+    }
+
+    /// Records a rejected admission: a TTFT miss (the request never got a
+    /// first token).
+    pub fn record_rejection(&mut self, t_s: f64) {
+        self.window_at(t_s).ttft_total += 1;
+    }
+
+    /// Replays a drained trace-sink stream: `FirstToken` yields a TTFT
+    /// observation against the earliest `Admitted` arrival on the lane,
+    /// `DecodeStep` gaps and re-admission first tokens yield ITL
+    /// observations, and `Rejected` lanes count as TTFT misses — the same
+    /// attribution the serving metrics use.
+    pub fn observe(&mut self, records: &[TraceRecord]) {
+        // Per lane: (arrival, time of last emitted token or None).
+        let mut lanes: BTreeMap<u64, (f64, Option<f64>)> = BTreeMap::new();
+        for r in records {
+            if r.lane >= RESERVED_LANES {
+                continue;
+            }
+            match r.event {
+                TraceEvent::Admitted { arrival_s } => {
+                    lanes.entry(r.lane).or_insert((arrival_s, None));
+                }
+                TraceEvent::Rejected => {
+                    self.record_rejection(r.t_s);
+                }
+                TraceEvent::FirstToken => {
+                    let (arrival, last) = *lanes.entry(r.lane).or_insert((r.t_s, None));
+                    match last {
+                        // Re-admission after preemption: the request
+                        // already produced tokens, so the gap is an ITL.
+                        Some(prev) => self.record_itl(r.t_s, r.t_s - prev),
+                        None => self.record_ttft(r.t_s, r.t_s - arrival),
+                    }
+                    lanes.get_mut(&r.lane).expect("inserted above").1 = Some(r.t_s);
+                }
+                TraceEvent::DecodeStep { .. } => {
+                    if let Some((_, last)) = lanes.get_mut(&r.lane) {
+                        if let Some(prev) = *last {
+                            let gap = r.t_s - prev;
+                            let t = r.t_s;
+                            *last = Some(t);
+                            self.record_itl(t, gap);
+                        } else {
+                            *last = Some(r.t_s);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Joins a per-window admission series: each window's rejections
+    /// become TTFT misses at that window's start time.
+    pub fn fold_windows(&mut self, stats: &[WindowStat]) {
+        for w in stats {
+            for _ in 0..w.rejected {
+                self.record_rejection(w.start_s);
+            }
+        }
+    }
+
+    /// Rolls the windows up, joining `ledger`'s busy fraction when given.
+    pub fn report(&self, ledger: Option<&DeviceLedger>) -> SloReport {
+        let objective_miss = 1.0 - self.target.objective;
+        let burn = |att: f64| (1.0 - att) / objective_miss;
+        let windows: Vec<SloWindowReport> = self
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let ttft_att = attainment(c.ttft_ok, c.ttft_total);
+                let itl_att = attainment(c.itl_ok, c.itl_total);
+                SloWindowReport {
+                    start_s: i as f64 * self.window_s,
+                    ttft_total: c.ttft_total,
+                    ttft_ok: c.ttft_ok,
+                    itl_total: c.itl_total,
+                    itl_ok: c.itl_ok,
+                    ttft_attainment: ttft_att,
+                    itl_attainment: itl_att,
+                    burn_rate: burn(ttft_att.min(itl_att)),
+                }
+            })
+            .collect();
+        let totals = self.windows.iter().fold(Counts::default(), |mut a, c| {
+            a.ttft_total += c.ttft_total;
+            a.ttft_ok += c.ttft_ok;
+            a.itl_total += c.itl_total;
+            a.itl_ok += c.itl_ok;
+            a
+        });
+        let ttft_attainment = attainment(totals.ttft_ok, totals.ttft_total);
+        let itl_attainment = attainment(totals.itl_ok, totals.itl_total);
+        SloReport {
+            target: self.target,
+            window_s: self.window_s,
+            ttft_attainment,
+            itl_attainment,
+            ttft_burn_rate: burn(ttft_attainment),
+            itl_burn_rate: burn(itl_attainment),
+            worst_window_burn_rate: windows.iter().map(|w| w.burn_rate).fold(0.0, f64::max),
+            busy_fraction: ledger.map(|l| l.utilization().busy_fraction),
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+
+    fn target() -> SloTarget {
+        SloTarget {
+            ttft_s: 0.5,
+            itl_s: 0.1,
+            objective: 0.9,
+        }
+    }
+
+    #[test]
+    fn attainment_and_burn_rate_follow_the_error_budget() {
+        let mut m = SloMonitor::new(target(), 10.0);
+        // Window 0: 4 TTFT hits, 1 miss → 80% attainment, burn 2.0.
+        for i in 0..4 {
+            m.record_ttft(i as f64, 0.2);
+        }
+        m.record_ttft(4.0, 1.5);
+        // Window 1: all ITL within target.
+        for i in 0..10 {
+            m.record_itl(10.5 + i as f64 * 0.1, 0.05);
+        }
+        let r = m.report(None);
+        assert_eq!(r.windows.len(), 2);
+        assert!((r.windows[0].ttft_attainment - 0.8).abs() < 1e-12);
+        assert!((r.windows[0].burn_rate - 2.0).abs() < 1e-9);
+        assert_eq!(r.windows[1].itl_attainment, 1.0);
+        assert_eq!(r.windows[1].burn_rate, 0.0);
+        assert!((r.ttft_attainment - 0.8).abs() < 1e-12);
+        assert_eq!(r.itl_attainment, 1.0);
+        assert!((r.worst_window_burn_rate - 2.0).abs() < 1e-9);
+        assert!(r.busy_fraction.is_none());
+    }
+
+    #[test]
+    fn observe_replays_lifecycles_like_the_serving_metrics() {
+        let sink = TraceSink::enabled();
+        // Arrival 0.0, first token 0.4 (hit), decode gaps 0.05 and 0.2
+        // (one hit, one miss).
+        sink.record(0.1, 7, TraceEvent::Admitted { arrival_s: 0.0 });
+        sink.record(0.4, 7, TraceEvent::FirstToken);
+        sink.record(
+            0.45,
+            7,
+            TraceEvent::DecodeStep {
+                attended: 8,
+                cached: 8,
+            },
+        );
+        sink.record(
+            0.65,
+            7,
+            TraceEvent::DecodeStep {
+                attended: 9,
+                cached: 9,
+            },
+        );
+        sink.record(0.65, 7, TraceEvent::Finished);
+        // A rejected lane is a TTFT miss.
+        sink.record(0.2, 8, TraceEvent::Rejected);
+        let mut m = SloMonitor::new(target(), 60.0);
+        m.observe(&sink.drain());
+        let r = m.report(None);
+        assert_eq!(r.windows.len(), 1);
+        assert_eq!(r.windows[0].ttft_total, 2);
+        assert_eq!(r.windows[0].ttft_ok, 1);
+        assert_eq!(r.windows[0].itl_total, 2);
+        assert_eq!(r.windows[0].itl_ok, 1);
+    }
+
+    #[test]
+    fn readmission_first_token_counts_as_itl_not_ttft() {
+        let sink = TraceSink::enabled();
+        sink.record(0.1, 3, TraceEvent::Admitted { arrival_s: 0.0 });
+        sink.record(0.3, 3, TraceEvent::FirstToken);
+        sink.record(
+            0.4,
+            3,
+            TraceEvent::Preempted {
+                policy: "recompute",
+            },
+        );
+        sink.record(0.5, 3, TraceEvent::Admitted { arrival_s: 0.0 });
+        // Re-admitted prefill completion emits its next token.
+        sink.record(0.9, 3, TraceEvent::FirstToken);
+        let mut m = SloMonitor::new(target(), 60.0);
+        m.observe(&sink.drain());
+        let r = m.report(None);
+        assert_eq!(r.windows[0].ttft_total, 1, "one TTFT per request");
+        assert_eq!(r.windows[0].itl_total, 1, "the re-admission gap is ITL");
+        assert_eq!(r.windows[0].itl_ok, 0, "0.6 s gap misses the 0.1 s target");
+    }
+
+    #[test]
+    fn window_series_and_ledger_join() {
+        let mut m = SloMonitor::new(target(), 10.0);
+        m.record_ttft(1.0, 0.1);
+        m.fold_windows(&[WindowStat {
+            start_s: 0.0,
+            admitted: 3,
+            rejected: 2,
+            peak_queue_depth: 4,
+        }]);
+        let mut ledger = DeviceLedger::new();
+        ledger.charge_step(&crate::ledger::StepSample {
+            gpu_s: 3.0,
+            ..Default::default()
+        });
+        ledger.charge_idle(1.0);
+        let r = m.report(Some(&ledger));
+        assert_eq!(r.windows[0].ttft_total, 3, "2 rejections joined");
+        assert_eq!(r.windows[0].ttft_ok, 1);
+        assert!((r.busy_fraction.expect("ledger joined") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "objective")]
+    fn degenerate_objectives_are_rejected() {
+        SloMonitor::new(
+            SloTarget {
+                ttft_s: 1.0,
+                itl_s: 1.0,
+                objective: 1.0,
+            },
+            10.0,
+        );
+    }
+}

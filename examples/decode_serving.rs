@@ -15,7 +15,11 @@
 //!
 //! Both reports are dumped to `BENCH_decode.json` via
 //! `DecodeReport::to_json` for CI to archive and diff with
-//! `tools/bench_compare`.
+//! `tools/bench_compare`; the continuous run's metrics are also written
+//! as a Prometheus text exposition (`METRICS_decode.prom`), and a
+//! re-run with tracing on feeds the windowed SLO monitor — rolling
+//! TTFT/ITL attainment and burn rate joined with the device ledger's
+//! busy fraction.
 //!
 //! ```bash
 //! cargo run --release --example decode_serving
@@ -23,7 +27,10 @@
 
 use pit::gpusim::DeviceSpec;
 use pit::models::ModelConfig;
-use pit::serve::decode::{simulate_decode_trace, DecodePolicy, DecodeServeConfig};
+use pit::serve::decode::{
+    simulate_decode_trace, simulate_decode_trace_traced, DecodePolicy, DecodeServeConfig,
+};
+use pit::trace::{SloMonitor, SloTarget, TraceSink};
 use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
 
 fn main() {
@@ -81,6 +88,61 @@ fn main() {
         json.len()
     );
 
+    // Where did the device time go? The ledger attributes every modelled
+    // second; the categories tile busy time exactly, and busy + stalls +
+    // idle tile the virtual clock.
+    println!(
+        "\ncontinuous device time: {:.1}% busy, {:.1}% MFU \
+         (prefill attn {:.2} s, decode attn {:.2} s, dense gemm {:.2} s, idle {:.2} s)",
+        free.utilization.busy_fraction * 100.0,
+        free.utilization.mfu * 100.0,
+        free.ledger.prefill_attention_ps as f64 / 1e12,
+        free.ledger.decode_attention_ps as f64 / 1e12,
+        free.ledger.dense_gemm_ps as f64 / 1e12,
+        free.ledger.idle_s(),
+    );
+    let prom = free.exposition().render();
+    std::fs::write("METRICS_decode.prom", &prom).expect("write METRICS_decode.prom");
+    println!(
+        "wrote Prometheus exposition to METRICS_decode.prom ({} bytes)",
+        prom.len()
+    );
+
+    // The windowed SLO monitor: re-run the continuous config with tracing
+    // on, replay the lifecycle stream into rolling TTFT/ITL attainment,
+    // and join the device ledger so each burn reading comes with the busy
+    // fraction that explains it (capacity vs scheduling).
+    let sink = TraceSink::enabled();
+    let traced = simulate_decode_trace_traced(
+        &builder()
+            .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+            .build()
+            .expect("valid continuous config"),
+        &trace,
+        &sink,
+    );
+    let mut monitor = SloMonitor::new(
+        SloTarget {
+            ttft_s: 0.5,
+            itl_s: 0.05,
+            objective: 0.99,
+        },
+        1.0,
+    );
+    monitor.observe(&sink.drain());
+    let slo = monitor.report(Some(&traced.ledger));
+    println!(
+        "\nslo (ttft<=500ms, itl<=50ms, objective 99%): ttft attainment {:.1}% \
+         (burn {:.2}), itl attainment {:.1}% (burn {:.2}), worst 1s window burn {:.2}, \
+         device busy {:.1}%",
+        slo.ttft_attainment * 100.0,
+        slo.ttft_burn_rate,
+        slo.itl_attainment * 100.0,
+        slo.itl_burn_rate,
+        slo.worst_window_burn_rate,
+        slo.busy_fraction.expect("ledger joined") * 100.0,
+    );
+
     // The CI smoke test leans on these assertions.
     assert_eq!(free.requests, trace.len(), "every request served");
     assert_eq!(padded.requests, trace.len());
@@ -127,5 +189,16 @@ fn main() {
     // Paging vs worst-case reservation: the static policy burns most of
     // its allocated slots on reservation slack.
     assert!(free.kv_mean_fragmentation < padded.kv_mean_fragmentation);
+    // The ledger conserves exactly, the traced re-run replayed the same
+    // virtual clock, and the SLO roll-up saw every request.
+    for report in [&free, &padded] {
+        assert!(report.ledger.conserved(), "[{}] ledger", report.policy);
+    }
+    assert_eq!(traced.ledger, free.ledger, "tracing perturbs nothing");
+    assert_eq!(
+        slo.windows.iter().map(|w| w.ttft_total).sum::<u64>(),
+        trace.len() as u64,
+        "one TTFT observation per request"
+    );
     println!("\npadding-free continuous batching wins on every axis ✓");
 }

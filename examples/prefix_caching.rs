@@ -91,6 +91,18 @@ fn main() {
         "\nwrote both reports to BENCH_prefix.json ({} bytes)",
         json.len()
     );
+    println!(
+        "prefix-cached device time: {:.1}% busy, {:.1}% MFU, idle {:.2} s",
+        reuse.utilization.busy_fraction * 100.0,
+        reuse.utilization.mfu * 100.0,
+        reuse.ledger.idle_s(),
+    );
+    let prom = reuse.exposition().render();
+    std::fs::write("METRICS_prefix.prom", &prom).expect("write METRICS_prefix.prom");
+    println!(
+        "wrote Prometheus exposition to METRICS_prefix.prom ({} bytes)",
+        prom.len()
+    );
 
     // The CI smoke test leans on these assertions.
     assert_eq!(reuse.requests, trace.len(), "every request served");
@@ -143,5 +155,8 @@ fn main() {
         assert!(report.kv_peak_occupancy <= 1.0);
     }
     assert!(reuse.kv.shared_admits > 0, "pages were actually shared");
+    for report in [&reuse, &no_reuse] {
+        assert!(report.ledger.conserved(), "[{}] ledger", report.policy);
+    }
     println!("\nprefix caching cuts prefill work and TTFT at equal KV budget ✓");
 }

@@ -108,6 +108,21 @@ fn main() {
         "\nwrote both reports to BENCH_sparse.json ({} bytes)",
         json.len()
     );
+    println!(
+        "heavy-hitter device time: {:.1}% busy, {:.1}% MFU \
+         (decode attn {:.2} s vs dense run's {:.2} s, sparse conversion {:.2} s)",
+        hh.utilization.busy_fraction * 100.0,
+        hh.utilization.mfu * 100.0,
+        hh.ledger.decode_attention_ps as f64 / 1e12,
+        dense.ledger.decode_attention_ps as f64 / 1e12,
+        hh.ledger.sparse_conversion_ps as f64 / 1e12,
+    );
+    let prom = hh.exposition().render();
+    std::fs::write("METRICS_sparse.prom", &prom).expect("write METRICS_sparse.prom");
+    println!(
+        "wrote Prometheus exposition to METRICS_sparse.prom ({} bytes)",
+        prom.len()
+    );
 
     // Re-run the heavy-hitter config with tracing on and export a
     // Chrome `trace_event` timeline (load it at ui.perfetto.dev).
@@ -180,6 +195,7 @@ fn main() {
             report.kv
         );
         assert!(report.kv_peak_occupancy <= 1.0);
+        assert!(report.ledger.conserved(), "[{}] ledger", report.policy);
     }
     println!("\nkv sparsity turns a smaller read set into throughput and fewer preemptions ✓");
 }

@@ -102,6 +102,21 @@ fn main() {
         "\nwrote both reports to BENCH_swap.json ({} bytes)",
         json.len()
     );
+    println!(
+        "swap device time: {:.1}% busy, {:.1}% MFU, stalls d2h {:.2} ms / h2d {:.2} ms, \
+         {:.1} MiB across the link",
+        swp.utilization.busy_fraction * 100.0,
+        swp.utilization.mfu * 100.0,
+        swp.ledger.swap_d2h_stall_ps as f64 / 1e9,
+        swp.ledger.swap_h2d_stall_ps as f64 / 1e9,
+        (swp.utilization.d2h_bytes + swp.utilization.h2d_bytes) as f64 / (1 << 20) as f64,
+    );
+    let prom = swp.exposition().render();
+    std::fs::write("METRICS_swap.prom", &prom).expect("write METRICS_swap.prom");
+    println!(
+        "wrote Prometheus exposition to METRICS_swap.prom ({} bytes)",
+        prom.len()
+    );
 
     // The CI smoke test leans on these assertions.
     assert_eq!(rec.requests, trace.len(), "every request served");
@@ -145,5 +160,12 @@ fn main() {
         assert!(report.kv_peak_occupancy <= 1.0);
     }
     assert_eq!(swp.kv.host_live_pages, 0, "host staging pool drained");
+    for report in [&rec, &swp] {
+        assert!(report.ledger.conserved(), "[{}] ledger", report.policy);
+    }
+    assert!(
+        swp.utilization.d2h_bytes > 0 && swp.utilization.h2d_bytes > 0,
+        "link traffic reached the utilization counters"
+    );
     println!("\nswap-to-host trades PCIe bandwidth for prefill FLOPs and wins the TTFT tail ✓");
 }

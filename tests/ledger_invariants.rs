@@ -1,0 +1,149 @@
+//! Property-based tests (proptest) for the device-time ledger and the
+//! Prometheus text exposition:
+//!
+//! - across random decode-serving configurations (dense / sliding-window
+//!   / heavy-hitter KV sparsity × recompute / swap preemption), the
+//!   ledger's cost categories tile the report's modelled GPU time
+//!   exactly, and busy + stall + idle time tiles the virtual clock —
+//!   conservation holds in integer picoseconds, not within a tolerance;
+//! - whatever a report's exposition renders, the line-format parser
+//!   reads back, and re-rendering the parse reproduces the text byte
+//!   for byte (render ∘ parse is the identity on rendered output).
+
+use pit::gpusim::DeviceSpec;
+use pit::models::ModelConfig;
+use pit::serve::decode::{
+    simulate_decode_trace, DecodePolicy, DecodeServeConfig, KvSparsityPolicy, PreemptPolicy,
+};
+use pit::trace::{parse_exposition, Exposition, LatencySketch};
+use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
+use proptest::prelude::*;
+
+fn config(
+    sparsity: KvSparsityPolicy,
+    preempt: PreemptPolicy,
+    kv_pages: usize,
+) -> DecodeServeConfig {
+    DecodeServeConfig::builder(ModelConfig::opt("1.3B"), DeviceSpec::a100_80gb())
+        .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 256 })
+        .kv_pages(kv_pages)
+        .kv_sparsity(sparsity)
+        .preempt(preempt)
+        .verify_invariants(true)
+        .build()
+        .expect("valid ledger-proptest config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant, end to end: for any configuration in the
+    /// sparsity × preemption matrix, under enough KV pressure to exercise
+    /// stalls, the ledger conserves exactly and its busy time *is* the
+    /// report's GPU time (the two are accumulated by independent code
+    /// paths — f64 summation in the metrics collector, integer
+    /// picoseconds in the ledger — so agreement is a real check, bounded
+    /// only by the 0.5 ps rounding of each charge).
+    #[test]
+    fn ledger_tiles_gpu_time_across_config_matrix(
+        sparsity in vec![
+            KvSparsityPolicy::Dense,
+            KvSparsityPolicy::SlidingWindow { recent: 64 },
+            KvSparsityPolicy::HeavyHitter { recent: 64, heavy: 64 },
+        ],
+        preempt in vec![PreemptPolicy::Recompute, PreemptPolicy::SwapToHost],
+        kv_pages in vec![96usize, 512],
+        n in 8usize..13,
+        seed in 0u64..1000,
+    ) {
+        let t = DecodeTrace::poisson(
+            &DatasetSpec::cola(),
+            &DecodeSpec::geometric(48.0, 8, 128),
+            n,
+            400.0,
+            seed,
+        );
+        let r = simulate_decode_trace(&config(sparsity, preempt, kv_pages), &t);
+        prop_assert_eq!(r.requests, t.len());
+
+        // Exact conservation in integer picoseconds: the five compute
+        // categories tile busy time, and busy + stalls + idle tile the
+        // virtual clock.
+        prop_assert!(r.ledger.conserved(), "ledger must conserve: {:?}", r.ledger);
+        let compute = r.ledger.prefill_attention_ps
+            + r.ledger.decode_attention_ps
+            + r.ledger.dense_gemm_ps
+            + r.ledger.sparse_conversion_ps
+            + r.ledger.jit_search_ps;
+        prop_assert_eq!(compute, r.ledger.busy_ps);
+        prop_assert_eq!(
+            r.ledger.busy_ps
+                + r.ledger.swap_d2h_stall_ps
+                + r.ledger.swap_h2d_stall_ps
+                + r.ledger.idle_ps,
+            r.ledger.clock_ps
+        );
+
+        // The ledger's busy time is the report's GPU time, up to 0.5 ps
+        // of rounding per charged step.
+        let tol = (r.iterations as f64 + 1.0) * 0.5e-12 + 1e-9;
+        prop_assert!(
+            (r.ledger.busy_s() - r.gpu_time_s).abs() <= tol,
+            "busy {} vs gpu {} exceeds {}",
+            r.ledger.busy_s(),
+            r.gpu_time_s,
+            tol
+        );
+
+        // Utilization derives from the same integers.
+        prop_assert!((0.0..=1.0).contains(&r.utilization.busy_fraction));
+        prop_assert!((0.0..=1.0).contains(&r.utilization.mfu));
+
+        // Swap stalls only appear under the swap policy, and their link
+        // bytes reach the utilization counters.
+        if r.swap_preemptions > 0 {
+            prop_assert!(r.utilization.d2h_bytes > 0);
+        } else {
+            prop_assert_eq!(r.ledger.swap_d2h_stall_ps, 0);
+        }
+
+        // The report's exposition round-trips through the parser.
+        let text = r.exposition().render();
+        let parsed = parse_exposition(&text).expect("report exposition parses");
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// The exposition writer round-trips arbitrary metric values through
+    /// the line-format parser: floats survive via their shortest
+    /// round-trip representation, label sets and HELP/TYPE headers are
+    /// preserved, and re-rendering reproduces the text exactly.
+    #[test]
+    fn exposition_roundtrips_random_metrics(
+        counter_v in 0.0f64..1e15,
+        gauge_v in -1e6f64..1e6,
+        samples in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let mut sketch = LatencySketch::new();
+        for i in 0..samples {
+            // Deterministic pseudo-random latencies spanning microseconds
+            // to minutes.
+            let x = ((i as u64).wrapping_mul(6_364_136_223_846_793_005).wrapping_add(seed)
+                % 1_000_000) as f64;
+            sketch.record(1e-6 * (1.0 + x));
+        }
+        let mut out = Exposition::new();
+        out.counter("pit_test_events_total", "Events observed.", counter_v);
+        out.gauge("pit_test_pressure", "Signed pressure gauge.", gauge_v);
+        out.summary(
+            "pit_test_latency_seconds",
+            "Latency distribution.",
+            &sketch,
+            &[0.5, 0.95, 0.99],
+        );
+        let text = out.render();
+        let parsed = parse_exposition(&text).expect("rendered exposition parses");
+        prop_assert_eq!(parsed.families().len(), out.families().len());
+        prop_assert_eq!(parsed.render(), text);
+    }
+}

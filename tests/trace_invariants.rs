@@ -132,51 +132,20 @@ fn chrome_export_is_a_valid_trace_event_array() {
     }
 }
 
-/// Asserts two reports describe the same run: the work served exactly,
-/// timing-derived floats within noise. Bit-exact equality is out of
-/// reach by design — a JIT-cache miss charges the *measured* wall time
-/// of the Algorithm-1 search to the modelled engine
-/// (`charge_shape_selection`), so modelled GPU time carries a few
-/// microseconds of real-machine jitter per miss; under KV pressure that
-/// jitter can even flip individual preemption decisions, which is why
-/// this comparison runs on an unpressured config.
-fn assert_same_run_modulo_search_jitter(
-    a: &pit::serve::DecodeReport,
-    b: &pit::serve::DecodeReport,
-) {
-    assert_eq!(a.policy, b.policy);
-    assert_eq!(a.requests, b.requests);
-    assert_eq!(a.prefill_tokens, b.prefill_tokens);
-    assert_eq!(a.decode_tokens, b.decode_tokens);
-    assert_eq!(a.real_tokens, b.real_tokens);
-    assert_eq!(a.recomputed_tokens, b.recomputed_tokens);
-    assert_eq!(a.kv.preemptions, 0, "unpressured: no preemption cascades");
-    assert_eq!(b.kv.preemptions, 0);
-    assert!(a.kv.conserved() && b.kv.conserved());
-    let rel = (a.gpu_time_s - b.gpu_time_s).abs() / b.gpu_time_s;
-    assert!(rel < 0.02, "goodput within noise: {rel} relative GPU time");
-    for (x, y, name) in [
-        (a.ttft.p50, b.ttft.p50, "ttft.p50"),
-        (a.itl.p50, b.itl.p50, "itl.p50"),
-        (a.e2e.p50, b.e2e.p50, "e2e.p50"),
-    ] {
-        assert!(
-            (x - y).abs() <= 0.02 * y.abs() + 1e-4,
-            "{name} outside noise: {x} vs {y}"
-        );
-    }
-}
-
 #[test]
 fn disabled_sink_is_observationally_free() {
-    // Ample KV: no preemptions, so the only run-to-run difference is the
-    // measured-search jitter the helper tolerates.
-    let cfg = DecodeServeConfig::builder(ModelConfig::opt("1.3B"), DeviceSpec::a100_80gb())
-        .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 256 })
-        .build()
-        .expect("valid unpressured config");
+    // JIT-search cost is modelled (Algorithm 1's candidate count), not
+    // measured, so the virtual clock replays bit-identically even under
+    // KV pressure — where a timing wobble would flip preemption victims.
+    // The traced and untraced entry points must therefore produce
+    // *exactly* equal reports, breakdown aside.
+    let cfg = pressured_config();
     let trace = pressured_trace();
     let untraced = simulate_decode_trace(&cfg, &trace);
+    assert!(
+        untraced.kv.preemptions > 0 || untraced.swap_preemptions > 0,
+        "equivalence must be exercised under pressure"
+    );
     let disabled = TraceSink::disabled();
     let traced_off = simulate_decode_trace_traced(&cfg, &trace, &disabled);
     assert!(!disabled.is_enabled());
@@ -189,15 +158,17 @@ fn disabled_sink_is_observationally_free() {
         traced_off.breakdown.is_none(),
         "no breakdown without a sink"
     );
-    assert_same_run_modulo_search_jitter(&untraced, &traced_off);
+    assert_eq!(untraced, traced_off, "disabled sink is exactly free");
+    assert!(untraced.ledger.conserved());
 
     // Tracing on perturbs nothing but the breakdown: the trace rides the
     // virtual clock as pure observation, so every scheduling decision and
     // counter is identical to the untraced run.
     let sink = TraceSink::enabled();
-    let traced_on = simulate_decode_trace_traced(&cfg, &trace, &sink);
+    let mut traced_on = simulate_decode_trace_traced(&cfg, &trace, &sink);
     assert!(traced_on.breakdown.is_some());
-    assert_same_run_modulo_search_jitter(&untraced, &traced_on);
+    traced_on.breakdown = None;
+    assert_eq!(untraced, traced_on, "tracing only adds the breakdown");
     // Sequence lanes stay clear of the reserved device/link lanes.
     assert!(sink
         .snapshot()

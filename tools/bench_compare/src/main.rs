@@ -8,11 +8,14 @@
 //! dotted numeric paths (`heavy_hitter.itl.p95`, …) and joined on path.
 //! Changes beyond the threshold (default 2%, `--threshold 0.05` for 5%)
 //! are printed worst-first and labelled **regression** / **improvement**
-//! when the metric's good direction is known (`*_per_s` and hit counters
-//! up; latencies, waste, preemptions and GPU time down), or **change**
-//! when it is not. Exit status is 0 unless `--strict` is given and a
-//! regression was found — CI runs it warn-only against the committed
-//! baselines.
+//! when the metric's good direction is known (`*_per_s`, hit counters,
+//! utilization and SLO attainment up; latencies, waste, preemptions,
+//! stalls, idle time and GPU time down), or **change** when it is not.
+//! `--json` swaps the report for a machine-readable JSON document on
+//! stdout (same fields, same ordering). Exit status is 0 unless
+//! `--strict` is given and a regression was found — CI runs it warn-only
+//! against the committed baselines and strict against same-commit
+//! replays, where *any* drift is a determinism bug.
 
 use pit_trace::JsonValue;
 use std::process::ExitCode;
@@ -57,6 +60,9 @@ fn direction(path: &str) -> Direction {
         "hit_rate",
         "requests",
         "real_tokens",
+        "mfu",
+        "busy_fraction",
+        "attainment",
     ];
     let lower_exact = [
         "p50",
@@ -72,6 +78,8 @@ fn direction(path: &str) -> Direction {
         "swap_fallbacks",
         "padded_tokens",
         "processed_tokens",
+        "idle_ps",
+        "burn_rate",
     ];
     if higher.contains(&leaf) {
         Direction::HigherIsBetter
@@ -79,6 +87,7 @@ fn direction(path: &str) -> Direction {
         || leaf.ends_with("_waste")
         || leaf.ends_with("fragmentation")
         || leaf.ends_with("_busy_s")
+        || leaf.ends_with("_stall_ps")
     {
         Direction::LowerIsBetter
     } else {
@@ -108,6 +117,7 @@ fn main() -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut threshold = 0.02_f64;
     let mut strict = false;
+    let mut json = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--threshold" => match args.next().as_deref().map(str::parse) {
@@ -118,15 +128,18 @@ fn main() -> ExitCode {
                 }
             },
             "--strict" => strict = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict]");
+                eprintln!(
+                    "usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict] [--json]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => files.push(other.to_string()),
         }
     }
     let [old_path, new_path] = files.as_slice() else {
-        eprintln!("usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict]");
+        eprintln!("usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict] [--json]");
         return ExitCode::from(2);
     };
     let (old, new) = match (load(old_path), load(new_path)) {
@@ -178,6 +191,47 @@ fn main() -> ExitCode {
 
     let mut notable: Vec<&Diff> = diffs.iter().filter(|d| d.rel.abs() >= threshold).collect();
     notable.sort_by(|a, b| b.rel.abs().total_cmp(&a.rel.abs()));
+    let label_of = |d: &Diff| match (d.dir, d.rel > 0.0) {
+        (Direction::HigherIsBetter, true) | (Direction::LowerIsBetter, false) => "improvement",
+        (Direction::HigherIsBetter, false) | (Direction::LowerIsBetter, true) => "regression",
+        (Direction::Neutral, _) => "change",
+    };
+    let regressions = notable
+        .iter()
+        .filter(|d| label_of(d) == "regression")
+        .count();
+
+    if json {
+        // Machine-readable report: paths are dotted identifiers (no JSON
+        // string metacharacters to escape), floats print in the same
+        // shortest round-trip form the bench documents use.
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"old\":\"{old_path}\",\"new\":\"{new_path}\",\"threshold\":{threshold},\
+             \"shared_metrics\":{},\"only_old\":{only_old},\"only_new\":{only_new},\
+             \"regressions\":{regressions},\"notable\":[",
+            diffs.len(),
+        ));
+        for (i, d) in notable.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":\"{}\",\"label\":\"{}\",\"old\":{},\"new\":{},\"rel\":{}}}",
+                d.path,
+                label_of(d),
+                d.old,
+                d.new,
+                d.rel
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+        if strict && regressions > 0 {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     println!(
         "bench_compare: {} vs {} — {} shared metrics, {} beyond ±{:.1}% \
@@ -190,15 +244,10 @@ fn main() -> ExitCode {
         only_old,
         only_new,
     );
-    let mut regressions = 0usize;
     for d in &notable {
-        let label = match (d.dir, d.rel > 0.0) {
-            (Direction::HigherIsBetter, true) | (Direction::LowerIsBetter, false) => "improvement",
-            (Direction::HigherIsBetter, false) | (Direction::LowerIsBetter, true) => {
-                regressions += 1;
-                "REGRESSION"
-            }
-            (Direction::Neutral, _) => "change",
+        let label = match label_of(d) {
+            "regression" => "REGRESSION",
+            other => other,
         };
         println!(
             "  {label:>11}  {:<48} {:>14.6} -> {:>14.6}  ({:+.1}%)",
@@ -216,10 +265,7 @@ fn main() -> ExitCode {
         regressions,
         notable
             .iter()
-            .filter(|d| matches!(
-                (d.dir, d.rel > 0.0),
-                (Direction::HigherIsBetter, true) | (Direction::LowerIsBetter, false)
-            ))
+            .filter(|d| label_of(d) == "improvement")
             .count(),
         notable
             .iter()
