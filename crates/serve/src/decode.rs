@@ -53,9 +53,12 @@ use pit_models::{Engine, Framework, ModelConfig};
 use pit_prefix::RadixPrefixIndex;
 use pit_swap::{plan_swap_out, PageDesc, RestoreQueue, SwapEngine};
 use pit_tensor::DType;
-use pit_trace::{reduce_spans, BreakdownSummary, StepSample, TraceEvent, TraceSink, DEVICE_LANE};
+use pit_trace::{
+    blame_spans, reduce_spans, BlameAggregate, BreakdownSummary, ExemplarReservoir, ExemplarSet,
+    StepSample, TraceEvent, TraceRecord, TraceSink, WaitCause, DEVICE_LANE, RESERVED_LANES,
+};
 use pit_workloads::DecodeTrace;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// How decode-phase batches are formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -776,6 +779,20 @@ pub fn simulate_decode_trace_traced(
     trace: &DecodeTrace,
     sink: &TraceSink,
 ) -> DecodeReport {
+    simulate_decode_trace_with_exemplars(cfg, trace, sink, 0).0
+}
+
+/// [`simulate_decode_trace_traced`] that additionally captures the `k`
+/// worst request timelines per tail metric (TTFT, max ITL, e2e). The
+/// exemplar buffers live outside the sink, so the tail is observable
+/// even with tracing disabled or head-sampled; `k == 0` captures
+/// nothing and reduces to the traced entry point.
+pub fn simulate_decode_trace_with_exemplars(
+    cfg: &DecodeServeConfig,
+    trace: &DecodeTrace,
+    sink: &TraceSink,
+    exemplar_k: usize,
+) -> (DecodeReport, ExemplarSet) {
     let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
     let mut kv = PagedKvCache::new(cfg.kv_config());
     let mut metrics = DecodeMetrics::new();
@@ -797,6 +814,7 @@ pub fn simulate_decode_trace_traced(
             prefix_hit: false,
         })
         .collect();
+    let mut rec = Recorder::new(sink, exemplar_k);
 
     let swap = matches!(cfg.preempt, PreemptPolicy::SwapToHost);
     let mut name = cfg.policy.name().to_string();
@@ -828,7 +846,7 @@ pub fn simulate_decode_trace_traced(
                 &mut kv,
                 &cache,
                 &mut metrics,
-                sink,
+                &mut rec,
             );
         }
         // The builder rejected prefix caching, swap preemption and KV
@@ -841,7 +859,7 @@ pub fn simulate_decode_trace_traced(
                 &mut kv,
                 &cache,
                 &mut metrics,
-                sink,
+                &mut rec,
             );
         }
     }
@@ -849,10 +867,62 @@ pub fn simulate_decode_trace_traced(
         kv.check_invariants().expect("kv invariants at end of run");
     }
     if sink.is_enabled() {
-        let spans = reduce_spans(&sink.snapshot());
+        let records = sink.snapshot();
+        let spans = reduce_spans(&records);
         metrics.set_breakdown(BreakdownSummary::of(&spans));
+        let mut agg = BlameAggregate::new();
+        agg.fold_spans(&blame_spans(&records));
+        metrics.set_blame(agg.summary());
     }
-    metrics.report(&name, kv.stats(), CacheStats::of(&cache))
+    (
+        metrics.report(&name, kv.stats(), CacheStats::of(&cache)),
+        rec.finish(),
+    )
+}
+
+/// Forwards lifecycle events to the trace sink while keeping each live
+/// lane's full timeline for the tail-exemplar reservoir. The timelines
+/// are buffered independently of the sink, so exemplars survive a
+/// disabled or head-sampled sink; with `k == 0` every `record` is a
+/// plain forward and the loop costs one extra branch.
+struct Recorder<'a> {
+    sink: &'a TraceSink,
+    reservoir: ExemplarReservoir,
+    timelines: BTreeMap<u64, Vec<TraceRecord>>,
+    ord: u64,
+}
+
+impl<'a> Recorder<'a> {
+    fn new(sink: &'a TraceSink, exemplar_k: usize) -> Self {
+        Recorder {
+            sink,
+            reservoir: ExemplarReservoir::new(exemplar_k),
+            timelines: BTreeMap::new(),
+            ord: 0,
+        }
+    }
+
+    fn record(&mut self, t_s: f64, lane: u64, event: TraceEvent) {
+        if self.reservoir.is_enabled() && lane < RESERVED_LANES {
+            let finished = matches!(event, TraceEvent::Finished);
+            self.timelines.entry(lane).or_default().push(TraceRecord {
+                ord: self.ord,
+                t_s,
+                lane,
+                event: event.clone(),
+            });
+            self.ord += 1;
+            if finished {
+                let timeline = self.timelines.remove(&lane).expect("pushed above");
+                self.reservoir.offer(lane, &timeline);
+            }
+        }
+        self.sink.record(t_s, lane, event);
+    }
+
+    fn finish(self) -> ExemplarSet {
+        self.reservoir.finish()
+    }
 }
 
 /// The continuous-batching loop with chunked prefill:
@@ -886,7 +956,7 @@ fn run_continuous(
     kv: &mut PagedKvCache,
     cache: &JitCache,
     metrics: &mut DecodeMetrics,
-    sink: &TraceSink,
+    rec: &mut Recorder,
 ) {
     let token_budget = token_budget.max(1);
     let page = kv.config().page_size;
@@ -913,6 +983,13 @@ fn run_continuous(
         || !swapped.is_empty()
         || !restoring.is_empty()
     {
+        // Deferral notebook: requests the scheduler looked at this
+        // iteration and could not advance, with the typed cause. Flushed
+        // as `Waiting` events at the step boundary (the instant the wait
+        // they explain ends); an iteration that re-plans without
+        // stepping drops them and re-observes next time around.
+        let mut deferrals: Vec<(u64, WaitCause, f64)> = Vec::new();
+
         // Restore-on-readmission: swapped sequences have priority over
         // new arrivals for free frames (their context is paid for — the
         // sooner it is back, the less the host pool holds). One spare
@@ -924,6 +1001,7 @@ fn run_continuous(
         if let Some(eng) = swap.as_mut() {
             while let Some((head, _)) = swapped.front() {
                 if running.len() + prefilling.len() + restoring.len() >= cfg.max_live.max(1) {
+                    deferrals.push((head.id, WaitCause::MaxLiveCap, head.arrival_s));
                     break;
                 }
                 let need = kv.seq_host_pages(head.id) + 1;
@@ -938,13 +1016,14 @@ fn run_continuous(
                     evict_index_pages(kv, index.as_mut(), want);
                 }
                 if kv.free_pages() < need {
+                    deferrals.push((head.id, WaitCause::KvPoolExhausted, head.arrival_s));
                     break;
                 }
                 let (s, was_decoding) = swapped.pop_front().expect("front checked");
                 let moved = kv.swap_in(s.id).expect("frames checked above");
                 let done = eng.swap_in(clock_s, moved);
                 metrics.record_restore(done - clock_s);
-                sink.record(
+                rec.record(
                     done,
                     s.id,
                     TraceEvent::SwapIn {
@@ -1012,7 +1091,7 @@ fn run_continuous(
                     .release_seq_pages(s.id, &pages)
                     .expect("retained-set eviction picks legal pages");
                 metrics.record_sparsity_eviction(pages.len(), freed);
-                sink.record(
+                rec.record(
                     clock_s,
                     s.id,
                     TraceEvent::SparsityEvict { pages: pages.len() },
@@ -1030,6 +1109,7 @@ fn run_continuous(
                 break;
             }
             if running.len() + prefilling.len() + restoring.len() >= cfg.max_live.max(1) {
+                deferrals.push((w.id, WaitCause::MaxLiveCap, w.arrival_s));
                 break;
             }
             let first = w.ctx().max(1).min(chunk_cap);
@@ -1051,10 +1131,11 @@ fn run_continuous(
                      {first}-token prefill chunk; enlarge kv_pages/kv_mem_fraction",
                     kv.config().num_pages
                 );
+                deferrals.push((w.id, WaitCause::KvPoolExhausted, w.arrival_s));
                 break;
             }
             let mut w = waiting.pop_front().expect("front checked");
-            sink.record(
+            rec.record(
                 clock_s,
                 w.id,
                 TraceEvent::Admitted {
@@ -1080,7 +1161,7 @@ fn run_continuous(
                 }
                 metrics.record_prefix_admission(matched, w.prefix_hit);
                 if w.prefix_hit {
-                    sink.record(
+                    rec.record(
                         clock_s,
                         w.id,
                         TraceEvent::PrefixHit {
@@ -1134,7 +1215,7 @@ fn run_continuous(
                     &mut swapped,
                     swap.as_mut(),
                     metrics,
-                    sink,
+                    rec,
                     &mut clock_s,
                 );
             } else if let Some(victim) = running.pop() {
@@ -1146,7 +1227,7 @@ fn run_continuous(
                     &mut swapped,
                     swap.as_mut(),
                     metrics,
-                    sink,
+                    rec,
                     &mut clock_s,
                 );
             } else {
@@ -1165,6 +1246,7 @@ fn run_continuous(
         let mut planned: Vec<usize> = vec![0; prefilling.len()];
         for (i, s) in prefilling.iter().enumerate() {
             if rows >= token_budget && !(running.is_empty() && i == 0) {
+                deferrals.push((s.id, WaitCause::TokenBudgetFull, s.arrival_s));
                 break;
             }
             let remaining = s.ctx().max(1) - s.prefilled;
@@ -1199,7 +1281,19 @@ fn run_continuous(
                 c = fits.min(c - 1);
             }
             if planned[i] == 0 {
-                break; // head-of-line stall: wait for pages, keep FIFO
+                // Head-of-line stall: wait for pages, keep FIFO. The head
+                // itself is starved of frames; anything behind it is
+                // blocked by the head, not by the pool.
+                deferrals.push((
+                    s.id,
+                    if i == 0 {
+                        WaitCause::KvPoolExhausted
+                    } else {
+                        WaitCause::HeadOfLinePrefill
+                    },
+                    s.arrival_s,
+                ));
+                break;
             }
         }
 
@@ -1241,7 +1335,7 @@ fn run_continuous(
                     &mut swapped,
                     swap.as_mut(),
                     metrics,
-                    sink,
+                    rec,
                     &mut clock_s,
                 );
                 continue;
@@ -1250,6 +1344,25 @@ fn run_continuous(
                 if ready > clock_s {
                     metrics.charge_h2d_stall(ready - clock_s);
                     clock_s = ready;
+                    // The whole scheduler waited out the transfer; pin
+                    // the wait on the blocked head — a stalled prefill,
+                    // or an arrived request the pool kept out.
+                    let head = prefilling.front().map(|s| (s.id, s.arrival_s)).or_else(|| {
+                        waiting
+                            .front()
+                            .filter(|w| w.arrival_s <= clock_s)
+                            .map(|w| (w.id, w.arrival_s))
+                    });
+                    if let Some((lane, since_s)) = head {
+                        rec.record(
+                            clock_s,
+                            lane,
+                            TraceEvent::Waiting {
+                                cause: WaitCause::RestoreInFlight,
+                                since_s,
+                            },
+                        );
+                    }
                 }
                 continue;
             }
@@ -1261,7 +1374,7 @@ fn run_continuous(
                 // the savings recorded at swap time are handed back.
                 let preserved = host_written_tokens(kv, victim.id);
                 metrics.record_swap_demotion(preserved);
-                sink.record(
+                rec.record(
                     clock_s,
                     victim.id,
                     TraceEvent::Preempted {
@@ -1326,7 +1439,7 @@ fn run_continuous(
             kv.occupancy(),
             kv.fragmentation(),
         );
-        sink.record(
+        rec.record(
             clock_s,
             DEVICE_LANE,
             TraceEvent::Step {
@@ -1335,6 +1448,12 @@ fn run_continuous(
                 gpu_s,
             },
         );
+        // The waits observed while planning this step end at its boundary:
+        // flush them here so the gap each one explains telescopes exactly
+        // into the blame tiling.
+        for (lane, cause, since_s) in deferrals.drain(..) {
+            rec.record(clock_s, lane, TraceEvent::Waiting { cause, since_s });
+        }
         // Prefill rows re-deriving KV discarded at a recompute
         // preemption pay their debt here: they cost GPU time and count
         // in `prefill_tokens`, but not in the served-token goodput.
@@ -1357,7 +1476,7 @@ fn run_continuous(
         let mut still_running: Vec<Seq> = Vec::with_capacity(running.len() + prefilling.len());
         for (slot, mut s) in shape.decode.iter().zip(running.drain(..)) {
             metrics.record_itl(clock_s - s.last_token_s);
-            sink.record(
+            rec.record(
                 clock_s,
                 s.id,
                 TraceEvent::DecodeStep {
@@ -1370,7 +1489,7 @@ fn run_continuous(
             if s.done() {
                 kv.free(s.id).expect("completed request held pages");
                 metrics.record_e2e(clock_s - s.arrival_s);
-                sink.record(clock_s, s.id, TraceEvent::Finished);
+                rec.record(clock_s, s.id, TraceEvent::Finished);
             } else {
                 kv.extend(s.id, 1).expect("headroom reserved before step");
                 still_running.push(s);
@@ -1384,7 +1503,7 @@ fn run_continuous(
         let mut still_prefilling: VecDeque<Seq> = VecDeque::with_capacity(prefilling.len());
         for (mut s, c) in prefilling.drain(..).zip(planned) {
             if c > 0 {
-                sink.record(clock_s, s.id, TraceEvent::PrefillChunk { tokens: c });
+                rec.record(clock_s, s.id, TraceEvent::PrefillChunk { tokens: c });
             }
             s.prefilled += c;
             if s.prefilled < s.ctx().max(1) {
@@ -1405,7 +1524,7 @@ fn run_continuous(
             }
             if s.generated == 0 {
                 metrics.record_ttft(clock_s - s.arrival_s, s.prefix_hit);
-                sink.record(clock_s, s.id, TraceEvent::FirstToken);
+                rec.record(clock_s, s.id, TraceEvent::FirstToken);
             } else {
                 // Re-admitted after preemption: the gap includes requeue
                 // and recompute — the honest preemption penalty.
@@ -1416,7 +1535,7 @@ fn run_continuous(
             if s.done() {
                 kv.free(s.id).expect("completed request held pages");
                 metrics.record_e2e(clock_s - s.arrival_s);
-                sink.record(clock_s, s.id, TraceEvent::Finished);
+                rec.record(clock_s, s.id, TraceEvent::Finished);
             } else {
                 kv.extend(s.id, 1).expect("carry page reserved at planning");
                 still_running.push(s);
@@ -1539,7 +1658,7 @@ fn preempt_victim(
     swapped: &mut VecDeque<(Seq, bool)>,
     swap: Option<&mut SwapEngine>,
     metrics: &mut DecodeMetrics,
-    sink: &TraceSink,
+    rec: &mut Recorder,
     clock_s: &mut f64,
 ) {
     if let Some(eng) = swap {
@@ -1566,14 +1685,14 @@ fn preempt_victim(
             // advance is a d2h stall on the ledger.
             metrics.charge_d2h_stall(*clock_s - initiated_s);
             metrics.record_swap_preempt(saved);
-            sink.record(
+            rec.record(
                 initiated_s,
                 victim.id,
                 TraceEvent::Preempted {
                     policy: "swap-to-host",
                 },
             );
-            sink.record(
+            rec.record(
                 *clock_s,
                 victim.id,
                 TraceEvent::SwapOut {
@@ -1586,7 +1705,7 @@ fn preempt_victim(
             return;
         }
         metrics.record_swap_fallback();
-        sink.record(
+        rec.record(
             *clock_s,
             victim.id,
             TraceEvent::Preempted {
@@ -1594,7 +1713,7 @@ fn preempt_victim(
             },
         );
     } else {
-        sink.record(
+        rec.record(
             *clock_s,
             victim.id,
             TraceEvent::Preempted {
@@ -1614,7 +1733,7 @@ fn run_static(
     kv: &mut PagedKvCache,
     cache: &JitCache,
     metrics: &mut DecodeMetrics,
-    sink: &TraceSink,
+    rec: &mut Recorder,
 ) {
     let max_batch = max_batch.max(1);
     let mut clock_s = 0.0_f64;
@@ -1630,7 +1749,7 @@ fn run_static(
             match waiting.front() {
                 Some(w) if w.arrival_s <= clock_s => {
                     let w = waiting.pop_front().expect("front checked");
-                    sink.record(
+                    rec.record(
                         clock_s,
                         w.id,
                         TraceEvent::Admitted {
@@ -1703,7 +1822,7 @@ fn run_static(
             kv.occupancy(),
             kv.fragmentation(),
         );
-        sink.record(
+        rec.record(
             clock_s,
             DEVICE_LANE,
             TraceEvent::Step {
@@ -1714,13 +1833,13 @@ fn run_static(
         );
         for s in batch.iter_mut() {
             metrics.record_ttft(clock_s - s.arrival_s, false);
-            sink.record(clock_s, s.id, TraceEvent::FirstToken);
+            rec.record(clock_s, s.id, TraceEvent::FirstToken);
             s.generated = 1;
             s.last_token_s = clock_s;
             kv.extend(s.id, 1).expect("inside reservation");
             if s.done() {
                 metrics.record_e2e(clock_s - s.arrival_s);
-                sink.record(clock_s, s.id, TraceEvent::Finished);
+                rec.record(clock_s, s.id, TraceEvent::Finished);
             }
         }
 
@@ -1740,7 +1859,7 @@ fn run_static(
             clock_s += gpu_s;
             metrics.charge_step(&sample);
             metrics.record_step(0, live, b, gpu_s, kv.occupancy(), kv.fragmentation());
-            sink.record(
+            rec.record(
                 clock_s,
                 DEVICE_LANE,
                 TraceEvent::Step {
@@ -1754,7 +1873,7 @@ fn run_static(
             metrics.record_attention(shape.attended_tokens(), shape.cached_tokens());
             for s in batch.iter_mut().filter(|s| s.target >= t) {
                 metrics.record_itl(clock_s - s.last_token_s);
-                sink.record(
+                rec.record(
                     clock_s,
                     s.id,
                     TraceEvent::DecodeStep {
@@ -1767,7 +1886,7 @@ fn run_static(
                 kv.extend(s.id, 1).expect("inside reservation");
                 if s.done() {
                     metrics.record_e2e(clock_s - s.arrival_s);
-                    sink.record(clock_s, s.id, TraceEvent::Finished);
+                    rec.record(clock_s, s.id, TraceEvent::Finished);
                 }
             }
         }

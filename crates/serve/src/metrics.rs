@@ -11,7 +11,8 @@
 
 use crate::scheduler::FormedBatch;
 use pit_trace::{
-    BreakdownSummary, DeviceLedger, Exposition, LatencySketch, StepSample, Utilization,
+    BlameSummary, BreakdownSummary, DeviceLedger, Exposition, LatencySketch, StepSample,
+    Utilization,
 };
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -193,6 +194,7 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             windows: None,
             cache,
+            blame: None,
             utilization: ledger.utilization(),
             ledger,
         }
@@ -229,6 +231,10 @@ pub struct ServingReport {
     pub windows: Option<Vec<pit_trace::WindowStat>>,
     /// Shared JIT-cache counters for the run.
     pub cache: CacheStats,
+    /// Causal blame digest: per-cause shares of queue latency (`None`
+    /// unless the run attributed its waits — the deterministic replay
+    /// paths do; the threaded runtime keeps wall-clock latencies only).
+    pub blame: Option<BlameSummary>,
     /// Device-time ledger: categories tile busy time exactly, and busy +
     /// stalls + idle tile the virtual clock (`ledger.conserved()`).
     pub ledger: DeviceLedger,
@@ -310,8 +316,31 @@ impl ServingReport {
             None,
             Some(self.requests as u64),
         );
+        if let Some(b) = &self.blame {
+            blame_exposition(&mut out, b);
+        }
         ledger_exposition(&mut out, &self.ledger);
         out
+    }
+}
+
+/// Appends the causal-blame families to an exposition (shared by both
+/// report kinds): per contributing cause, the total attributed
+/// end-to-end seconds and the per-request contribution quantiles.
+fn blame_exposition(out: &mut Exposition, blame: &BlameSummary) {
+    for c in &blame.causes {
+        out.counter(
+            &format!("pit_blame_{}_seconds_total", c.cause),
+            "End-to-end seconds attributed to this cause",
+            c.e2e_s,
+        );
+        out.summary_quantiles(
+            &format!("pit_blame_{}_per_request_seconds", c.cause),
+            "Per-request seconds this cause contributed (sketch-backed)",
+            &[(0.50, c.p50_s), (0.95, c.p95_s), (0.99, c.p99_s)],
+            Some(c.e2e_s),
+            Some(c.requests),
+        );
     }
 }
 
@@ -452,6 +481,9 @@ impl fmt::Display for ServingReport {
             self.ledger.clock_s(),
             self.utilization.mfu * 100.0,
         )?;
+        if let Some(b) = &self.blame {
+            write!(f, "\n  {b}")?;
+        }
         if let Some(w) = &self.windows {
             let width = if w.len() >= 2 {
                 w[1].start_s - w[0].start_s
@@ -513,6 +545,7 @@ pub struct DecodeMetrics {
     host_occupancy_samples: usize,
     swap: Option<pit_swap::SwapStats>,
     breakdown: Option<BreakdownSummary>,
+    blame: Option<BlameSummary>,
     ledger: DeviceLedger,
 }
 
@@ -690,6 +723,13 @@ impl DecodeMetrics {
         self.breakdown = Some(breakdown);
     }
 
+    /// Attaches the causal blame digest aggregated from a trace's
+    /// per-request critical-path attribution (only available when the
+    /// run recorded into an enabled `TraceSink`).
+    pub fn set_blame(&mut self, blame: BlameSummary) {
+        self.blame = Some(blame);
+    }
+
     /// Freezes the collector into a report.
     pub fn report(self, policy: &str, kv: pit_kv::KvStats, cache: CacheStats) -> DecodeReport {
         let n = self.iterations.max(1) as f64;
@@ -730,6 +770,7 @@ impl DecodeMetrics {
             kv_peak_occupancy: self.occupancy_peak,
             kv_mean_fragmentation: self.fragmentation_sum / n,
             breakdown: self.breakdown,
+            blame: self.blame,
             cache,
             utilization: self.ledger.utilization(),
             ledger: self.ledger,
@@ -831,6 +872,10 @@ pub struct DecodeReport {
     /// Mean queue/prefill/decode/stall phase times per finished request,
     /// reduced from the lifecycle trace (`None` when tracing was off).
     pub breakdown: Option<BreakdownSummary>,
+    /// Causal blame digest: per-cause TTFT/e2e shares with per-request
+    /// contribution quantiles, aggregated from the trace's exact-tiling
+    /// critical-path attribution (`None` when tracing was off).
+    pub blame: Option<BlameSummary>,
     /// Shared JIT-cache counters.
     pub cache: CacheStats,
     /// Device-time ledger: categories tile busy time exactly, and busy +
@@ -974,6 +1019,9 @@ impl DecodeReport {
             "Swapped sequences restored to the device",
             self.restores as f64,
         );
+        if let Some(b) = &self.blame {
+            blame_exposition(&mut out, b);
+        }
         ledger_exposition(&mut out, &self.ledger);
         out
     }
@@ -1084,6 +1132,9 @@ impl fmt::Display for DecodeReport {
                 b.mean_stall_s * 1e3,
                 b.mean_total_s() * 1e3,
             )?;
+        }
+        if let Some(b) = &self.blame {
+            writeln!(f, "  {b}")?;
         }
         writeln!(
             f,

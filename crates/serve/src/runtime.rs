@@ -27,7 +27,7 @@ use pit_gpusim::DeviceSpec;
 use pit_models::{Engine, ModelConfig};
 use pit_sparse::Mask;
 use pit_tensor::DType;
-use pit_trace::{StepSample, WindowSeries};
+use pit_trace::{BlameAggregate, BlameBreakdown, BlameCategory, StepSample, WindowSeries};
 use pit_workloads::ArrivalTrace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -396,27 +396,64 @@ pub fn simulate_trace(cfg: &ServeConfig, trace: &[usize]) -> ServingReport {
     let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
     let metrics = Metrics::new();
     let started = Instant::now();
-    let mut pending: VecDeque<usize> = trace.iter().copied().collect();
+    // `blocked_s` per queued request: modelled seconds it sat in the
+    // queue while the device ran batches that left it behind — the
+    // batch-policy analogue of a full token budget.
+    let mut pending: VecDeque<(usize, f64)> = trace.iter().map(|&l| (l, 0.0)).collect();
     let high_water = pending.len();
+    let mut blame = BlameAggregate::new();
     let mut virtual_now_s = 0.0;
     while !pending.is_empty() {
-        let take = cfg.policy.take_count(pending.make_contiguous());
-        let lens: Vec<usize> = pending.drain(..take).collect();
-        let formed = cfg.policy.form(lens);
+        let lens_all: Vec<usize> = pending.iter().map(|&(l, _)| l).collect();
+        let take = cfg.policy.take_count(&lens_all);
+        let taken: Vec<(usize, f64)> = pending.drain(..take).collect();
+        let formed = cfg.policy.form(lens_all[..take].to_vec());
         let sample = batch_step_sample(cfg, &formed, &cache);
         virtual_now_s += sample.gpu_s;
         metrics.record_batch(&formed, sample.gpu_s);
         metrics.charge_step(&sample);
-        for _ in 0..formed.batch_size() {
+        for (_, blocked_s) in taken {
             metrics.record_latency(virtual_now_s);
+            blame.fold(&batch_blame(0.0, virtual_now_s, blocked_s, sample.gpu_s));
+        }
+        for (_, blocked_s) in pending.iter_mut() {
+            *blocked_s += sample.gpu_s;
         }
     }
-    metrics.report(
+    let mut report = metrics.report(
         cfg.policy.name(),
         started.elapsed().as_secs_f64(),
         high_water,
         CacheStats::of(&cache),
-    )
+    );
+    if blame.requests() > 0 {
+        report.blame = Some(blame.summary());
+    }
+    report
+}
+
+/// Exact causal tiling of one batch-served request's latency: its own
+/// batch's execution is prefill work, batches that ran while it waited
+/// are budget blocking, and the residual (device busy on a batch formed
+/// before it arrived, or an idle-clock artifact) is queue delay — the
+/// three tiles telescope to `end - arrival` by construction.
+fn batch_blame(arrival_s: f64, end_s: f64, blocked_s: f64, execute_s: f64) -> BlameBreakdown {
+    let mut b = BlameBreakdown {
+        arrival_s,
+        first_token_s: Some(end_s),
+        end_s,
+        finished: true,
+        ttft_by_cause: [0.0; BlameCategory::COUNT],
+        e2e_by_cause: [0.0; BlameCategory::COUNT],
+    };
+    let e2e = end_s - arrival_s;
+    b.e2e_by_cause[BlameCategory::PrefillExecute.index()] = execute_s;
+    b.e2e_by_cause[BlameCategory::TokenBudgetFull.index()] = blocked_s;
+    b.e2e_by_cause[BlameCategory::QueueBehindAdmission.index()] = e2e - blocked_s - execute_s;
+    // Whole-batch service emits the "first token" at completion: the
+    // TTFT and e2e critical paths coincide.
+    b.ttft_by_cause = b.e2e_by_cause;
+    b
 }
 
 /// Open-loop replay of an [`ArrivalTrace`] through the threaded runtime:
@@ -513,8 +550,12 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
     let started = Instant::now();
     let mut clock_s = 0.0_f64;
     let mut next = 0usize;
-    let mut pending: VecDeque<(usize, f64)> = VecDeque::new();
+    // (len, arrival_s, blocked_s): `blocked_s` accumulates the modelled
+    // seconds the device spent on batches formed while this request was
+    // queued but not taken — blame's budget-blocking tile.
+    let mut pending: VecDeque<(usize, f64, f64)> = VecDeque::new();
     let mut high_water = 0usize;
+    let mut blame = BlameAggregate::new();
     let mut windows = cfg.arrival_window_s.map(WindowSeries::new);
     while next < trace.len() || !pending.is_empty() {
         if pending.is_empty() {
@@ -538,7 +579,7 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
                     w.rejected(trace.arrival_s[next]);
                 }
             } else {
-                pending.push_back((trace.lens[next], trace.arrival_s[next]));
+                pending.push_back((trace.lens[next], trace.arrival_s[next], 0.0));
                 if let Some(w) = windows.as_mut() {
                     w.admitted(trace.arrival_s[next]);
                 }
@@ -549,16 +590,20 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
         if let Some(w) = windows.as_mut() {
             w.queue_depth(clock_s, pending.len());
         }
-        let lens: Vec<usize> = pending.iter().map(|&(l, _)| l).collect();
+        let lens: Vec<usize> = pending.iter().map(|&(l, _, _)| l).collect();
         let take = cfg.policy.take_count(&lens);
-        let taken: Vec<(usize, f64)> = pending.drain(..take).collect();
+        let taken: Vec<(usize, f64, f64)> = pending.drain(..take).collect();
         let formed = cfg.policy.form(lens[..take].to_vec());
         let sample = batch_step_sample(cfg, &formed, &cache);
         clock_s += sample.gpu_s;
         metrics.record_batch(&formed, sample.gpu_s);
         metrics.charge_step(&sample);
-        for (_, arrival) in taken {
+        for (_, arrival, blocked_s) in taken {
             metrics.record_latency(clock_s - arrival);
+            blame.fold(&batch_blame(arrival, clock_s, blocked_s, sample.gpu_s));
+        }
+        for (_, _, blocked_s) in pending.iter_mut() {
+            *blocked_s += sample.gpu_s;
         }
     }
     let mut report = metrics.report(
@@ -568,6 +613,9 @@ pub fn simulate_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> Servi
         CacheStats::of(&cache),
     );
     report.windows = windows.map(WindowSeries::into_stats);
+    if blame.requests() > 0 {
+        report.blame = Some(blame.summary());
+    }
     report
 }
 

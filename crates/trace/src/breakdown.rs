@@ -11,6 +11,7 @@
 //! latency to floating-point accuracy — the property the acceptance test
 //! pins at 1e-6 s.
 
+use crate::blame::WaitCause;
 use crate::sink::{TraceEvent, TraceRecord, RESERVED_LANES};
 use std::collections::BTreeMap;
 
@@ -26,6 +27,19 @@ fn phase_of(event: &TraceEvent) -> Phase {
         | TraceEvent::SwapOut { .. }
         | TraceEvent::SwapIn { .. }
         | TraceEvent::SparsityEvict { .. } => Phase::Stall,
+        // Typed waits fold back into the coarse phases: admission-side
+        // causes are queue time, in-prefill causes are prefill time,
+        // memory/link pressure is stall time.
+        TraceEvent::Waiting { cause, .. } => match cause {
+            WaitCause::QueueBehindAdmission | WaitCause::MaxLiveCap | WaitCause::SchedulerIdle => {
+                Phase::Queue
+            }
+            WaitCause::TokenBudgetFull | WaitCause::HeadOfLinePrefill => Phase::Prefill,
+            WaitCause::KvPoolExhausted
+            | WaitCause::SwapLinkD2h
+            | WaitCause::SwapLinkH2d
+            | WaitCause::RestoreInFlight => Phase::Stall,
+        },
         TraceEvent::Step { .. } => Phase::Decode, // device lane; not reduced
     }
 }
@@ -77,10 +91,12 @@ pub fn reduce_spans(records: &[TraceRecord]) -> BTreeMap<u64, SpanBreakdown> {
             continue;
         }
         let span = spans.entry(r.lane).or_insert_with(|| {
-            // The first event anchors the lifecycle; `Admitted` carries
-            // the true arrival, anything else starts the clock at itself.
+            // The first event anchors the lifecycle; `Admitted` and
+            // `Waiting` carry the true wait start, anything else starts
+            // the clock at itself.
             let arrival = match r.event {
                 TraceEvent::Admitted { arrival_s } => arrival_s,
+                TraceEvent::Waiting { since_s, .. } => since_s,
                 _ => r.t_s,
             };
             prev_t.insert(r.lane, arrival);

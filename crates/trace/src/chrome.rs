@@ -15,6 +15,7 @@
 //! through `#[derive(Serialize)]` — the entries mix numeric and string
 //! args, and the vendored derive skips generic types.
 
+use crate::exemplar::ExemplarSet;
 use crate::sink::{TraceEvent, TraceRecord, DEVICE_LANE, RESERVED_LANES};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -37,11 +38,13 @@ fn num(out: &mut String, v: f64) {
 }
 
 /// Appends one complete ("X") event.
+#[allow(clippy::too_many_arguments)]
 fn complete(
     out: &mut String,
     name: &str,
     start_s: f64,
     end_s: f64,
+    pid: u64,
     tid: u64,
     args: &[(&str, f64)],
 ) {
@@ -51,20 +54,29 @@ fn complete(
     num(out, us(start_s));
     out.push_str(",\"dur\":");
     num(out, us((end_s - start_s).max(0.0)));
-    let _ = write!(out, ",\"pid\":1,\"tid\":{tid},\"args\":");
+    let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"args\":");
     write_args(out, args);
     out.push('}');
 }
 
 /// Appends one instant ("i") event (thread scope).
-fn instant(out: &mut String, name: &str, t_s: f64, tid: u64, args: &[(&str, f64)]) {
+fn instant(out: &mut String, name: &str, t_s: f64, pid: u64, tid: u64, args: &[(&str, f64)]) {
     out.push_str("{\"name\":");
     serde::write_json_str(out, name);
     out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
     num(out, us(t_s));
-    let _ = write!(out, ",\"pid\":1,\"tid\":{tid},\"args\":");
+    let _ = write!(out, ",\"pid\":{pid},\"tid\":{tid},\"args\":");
     write_args(out, args);
     out.push('}');
+}
+
+/// Appends one thread_name ("M") metadata event.
+fn thread_name(events: &mut Vec<String>, name: &str, pid: u64, tid: u64) {
+    let mut m = String::new();
+    serde::write_json_str(&mut m, name);
+    events.push(format!(
+        r#"{{"name":"thread_name","ph":"M","ts":0,"pid":{pid},"tid":{tid},"args":{{"name":{m}}}}}"#
+    ));
 }
 
 fn write_args(out: &mut String, args: &[(&str, f64)]) {
@@ -81,6 +93,8 @@ fn write_args(out: &mut String, args: &[(&str, f64)]) {
 }
 
 /// Phase name of a sequence-lane gap; mirrors the breakdown attribution.
+/// Typed waits name their segment by cause, so causal stalls read
+/// directly off the timeline.
 fn gap_name(event: &TraceEvent) -> Option<&'static str> {
     Some(match event {
         TraceEvent::Admitted { .. } => "queue",
@@ -89,13 +103,100 @@ fn gap_name(event: &TraceEvent) -> Option<&'static str> {
         TraceEvent::Preempted { .. } | TraceEvent::SwapOut { .. } | TraceEvent::SwapIn { .. } => {
             "stall"
         }
+        TraceEvent::Waiting { cause, .. } => cause.name(),
         _ => return None,
     })
 }
 
-/// Renders `records` (sorted, as `TraceSink::drain`/`snapshot` return
-/// them) as a Chrome `trace_event` JSON array.
-pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+/// The wait-start anchor a lane's first event implies.
+fn lane_anchor(event: &TraceEvent, t_s: f64) -> f64 {
+    match event {
+        TraceEvent::Admitted { arrival_s } => *arrival_s,
+        TraceEvent::Waiting { since_s, .. } => *since_s,
+        _ => t_s,
+    }
+}
+
+/// Replays one sequence lane's records as gap segments plus instant
+/// markers on `(pid, tid)` — the shared body of the main export's
+/// sequence lanes and the exemplar lanes. When `link_tids` is set, swap
+/// transfers also paint the pid-1 link lanes.
+fn render_seq_lane(
+    events: &mut Vec<String>,
+    records: impl Iterator<Item = (f64, TraceEvent)>,
+    pid: u64,
+    tid: u64,
+    lane: u64,
+    prev: &mut Option<f64>,
+    link_tids: bool,
+) {
+    for (t_s, event) in records {
+        let mut buf = String::new();
+        let p = prev.get_or_insert_with(|| lane_anchor(&event, t_s));
+        if let Some(name) = gap_name(&event) {
+            if t_s > *p {
+                let mut seg = String::new();
+                complete(&mut seg, name, *p, t_s, pid, tid, &[]);
+                events.push(seg);
+            }
+        }
+        *p = p.max(t_s);
+        match event {
+            // Link transfers also paint the link lanes.
+            TraceEvent::SwapOut {
+                pages, initiated_s, ..
+            } if link_tids => complete(
+                &mut buf,
+                "swap_out",
+                initiated_s,
+                t_s,
+                1,
+                TID_D2H,
+                &[("pages", pages as f64), ("seq", lane as f64)],
+            ),
+            TraceEvent::SwapIn {
+                pages, initiated_s, ..
+            } if link_tids => complete(
+                &mut buf,
+                "swap_in",
+                initiated_s,
+                t_s,
+                1,
+                TID_H2D,
+                &[("pages", pages as f64), ("seq", lane as f64)],
+            ),
+            TraceEvent::Admitted { .. }
+            | TraceEvent::FirstToken
+            | TraceEvent::Finished
+            | TraceEvent::Rejected
+            | TraceEvent::Preempted { .. } => instant(&mut buf, event.name(), t_s, pid, tid, &[]),
+            TraceEvent::PrefixHit { pages, tokens } => instant(
+                &mut buf,
+                "prefix_hit",
+                t_s,
+                pid,
+                tid,
+                &[("pages", pages as f64), ("tokens", tokens as f64)],
+            ),
+            TraceEvent::SparsityEvict { pages } => instant(
+                &mut buf,
+                "sparsity_evict",
+                t_s,
+                pid,
+                tid,
+                &[("pages", pages as f64)],
+            ),
+            _ => {}
+        }
+        if !buf.is_empty() {
+            events.push(buf);
+        }
+    }
+}
+
+/// Renders `records` into event strings (the shared body of both
+/// exports).
+fn render_events(records: &[TraceRecord]) -> Vec<String> {
     let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
 
     // Stable seq → tid assignment in order of first appearance.
@@ -108,29 +209,17 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
     }
 
     // Thread-name metadata so the viewers label the lanes.
-    let mut names: Vec<(String, u64)> = vec![
-        ("device".to_string(), TID_DEVICE),
-        ("pcie d2h".to_string(), TID_D2H),
-        ("pcie h2d".to_string(), TID_H2D),
-    ];
-    names.extend(
-        seq_tids
-            .iter()
-            .map(|(&seq, &tid)| (format!("seq {seq}"), tid)),
-    );
-    for (name, tid) in &names {
-        let mut m = String::new();
-        serde::write_json_str(&mut m, name);
-        events.push(format!(
-            r#"{{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":{tid},"args":{{"name":{m}}}}}"#
-        ));
+    thread_name(&mut events, "device", 1, TID_DEVICE);
+    thread_name(&mut events, "pcie d2h", 1, TID_D2H);
+    thread_name(&mut events, "pcie h2d", 1, TID_H2D);
+    for (&seq, &tid) in &seq_tids {
+        thread_name(&mut events, &format!("seq {seq}"), 1, tid);
     }
 
     // Per-sequence gap segmentation: last event time per lane.
-    let mut prev: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut prev: BTreeMap<u64, Option<f64>> = BTreeMap::new();
 
     for r in records {
-        let mut buf = String::new();
         match (&r.event, r.lane) {
             (
                 TraceEvent::Step {
@@ -140,11 +229,13 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                 },
                 DEVICE_LANE,
             ) => {
+                let mut buf = String::new();
                 complete(
                     &mut buf,
                     "step",
                     r.t_s - gpu_s,
                     r.t_s,
+                    1,
                     TID_DEVICE,
                     &[
                         ("prefill_rows", *prefill_rows as f64),
@@ -156,74 +247,77 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
             (_, lane) if lane >= RESERVED_LANES => {}
             (event, lane) => {
                 let tid = seq_tids[&lane];
-                let p = prev.entry(lane).or_insert(match event {
-                    TraceEvent::Admitted { arrival_s } => *arrival_s,
-                    _ => r.t_s,
-                });
-                if let Some(name) = gap_name(event) {
-                    if r.t_s > *p {
-                        let mut seg = String::new();
-                        complete(&mut seg, name, *p, r.t_s, tid, &[]);
-                        events.push(seg);
-                    }
-                }
-                *p = p.max(r.t_s);
-                match event {
-                    // Link transfers also paint the link lanes.
-                    TraceEvent::SwapOut {
-                        pages, initiated_s, ..
-                    } => complete(
-                        &mut buf,
-                        "swap_out",
-                        *initiated_s,
-                        r.t_s,
-                        TID_D2H,
-                        &[("pages", *pages as f64), ("seq", lane as f64)],
-                    ),
-                    TraceEvent::SwapIn {
-                        pages, initiated_s, ..
-                    } => complete(
-                        &mut buf,
-                        "swap_in",
-                        *initiated_s,
-                        r.t_s,
-                        TID_H2D,
-                        &[("pages", *pages as f64), ("seq", lane as f64)],
-                    ),
-                    TraceEvent::Admitted { .. }
-                    | TraceEvent::FirstToken
-                    | TraceEvent::Finished
-                    | TraceEvent::Rejected
-                    | TraceEvent::Preempted { .. } => {
-                        instant(&mut buf, event.name(), r.t_s, tid, &[])
-                    }
-                    TraceEvent::PrefixHit { pages, tokens } => instant(
-                        &mut buf,
-                        "prefix_hit",
-                        r.t_s,
-                        tid,
-                        &[("pages", *pages as f64), ("tokens", *tokens as f64)],
-                    ),
-                    TraceEvent::SparsityEvict { pages } => instant(
-                        &mut buf,
-                        "sparsity_evict",
-                        r.t_s,
-                        tid,
-                        &[("pages", *pages as f64)],
-                    ),
-                    _ => {}
-                }
-                if !buf.is_empty() {
-                    events.push(buf);
-                }
+                render_seq_lane(
+                    &mut events,
+                    std::iter::once((r.t_s, event.clone())),
+                    1,
+                    tid,
+                    lane,
+                    prev.entry(lane).or_insert(None),
+                    true,
+                );
             }
         }
     }
+    events
+}
+
+fn join_events(events: Vec<String>) -> String {
     let mut out = String::with_capacity(events.iter().map(|e| e.len() + 1).sum::<usize>() + 2);
     out.push('[');
     out.push_str(&events.join(","));
     out.push(']');
     out
+}
+
+/// Renders `records` (sorted, as `TraceSink::drain`/`snapshot` return
+/// them) as a Chrome `trace_event` JSON array.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    join_events(render_events(records))
+}
+
+/// Like [`chrome_trace_json`], plus the exemplar set's timelines as
+/// highlighted lanes under a second process ("tail exemplars", pid 2) —
+/// one thread per captured timeline, named by metric, rank, sequence and
+/// value, so the worst requests stand out even when the main trace is
+/// sampled or disabled.
+pub fn chrome_trace_json_with_exemplars(
+    records: &[TraceRecord],
+    exemplars: &ExemplarSet,
+) -> String {
+    let mut events = render_events(records);
+    let mut tid = 0u64;
+    for (metric, timelines) in [
+        ("ttft", &exemplars.ttft),
+        ("itl", &exemplars.itl),
+        ("e2e", &exemplars.e2e),
+    ] {
+        for (rank, tl) in timelines.iter().enumerate() {
+            thread_name(
+                &mut events,
+                &format!(
+                    "exemplar {metric}#{} seq {} ({:.1}ms)",
+                    rank + 1,
+                    tl.lane,
+                    tl.value_s * 1e3
+                ),
+                2,
+                tid,
+            );
+            let mut prev = None;
+            render_seq_lane(
+                &mut events,
+                tl.records.iter().map(|r| (r.t_s, r.event.clone())),
+                2,
+                tid,
+                tl.lane,
+                &mut prev,
+                false,
+            );
+            tid += 1;
+        }
+    }
+    join_events(events)
 }
 
 #[cfg(test)]

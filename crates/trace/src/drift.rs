@@ -1,0 +1,457 @@
+//! Online drift detection: windowed sketches against a committed
+//! baseline.
+//!
+//! The [`LatencySketch`]'s bucket-wise merge is associative, so
+//! per-window sketches compose into any coarser window — a
+//! [`DriftDetector`] exploits exactly that: it folds observations into
+//! fixed windows, merges them on demand, and compares the merged
+//! quantiles (and the blame cause mix) against a [`DriftBaseline`]
+//! captured from a known-good run. A shift beyond tolerance raises a
+//! typed [`DriftAlarm`], surfaced through `SloReport` and the
+//! `trace_explain` CLI — the existing sketches become an online
+//! regression alarm without any new per-request state.
+
+use crate::blame::{blame_spans, BlameAggregate, BlameSummary};
+use crate::sink::{TraceEvent, TraceRecord, RESERVED_LANES};
+use crate::sketch::LatencySketch;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of shift an alarm reports. (Fieldless on purpose: the
+/// vendored serde derives enums via their `Debug` form, which is clean
+/// JSON for a plain tag.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum DriftKind {
+    /// A latency quantile moved beyond tolerance.
+    QuantileShift,
+    /// A blame category's share of end-to-end time moved beyond
+    /// tolerance.
+    CauseMixShift,
+}
+
+/// One detected shift against the baseline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DriftAlarm {
+    /// What shifted.
+    pub kind: DriftKind,
+    /// The metric ("ttft" / "itl" / "e2e") or blame-cause name.
+    pub metric: String,
+    /// The quantile compared (0 for cause-mix alarms).
+    pub quantile: f64,
+    /// The baseline value (seconds, or share for cause-mix).
+    pub baseline: f64,
+    /// The observed value.
+    pub observed: f64,
+    /// Relative change `(observed - baseline) / baseline` (absolute
+    /// share delta for cause-mix alarms).
+    pub rel_change: f64,
+}
+
+impl fmt::Display for DriftAlarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DriftKind::QuantileShift => write!(
+                f,
+                "drift: {} p{:.0} {:.4}s -> {:.4}s ({:+.0}%)",
+                self.metric,
+                self.quantile * 100.0,
+                self.baseline,
+                self.observed,
+                self.rel_change * 100.0,
+            ),
+            DriftKind::CauseMixShift => write!(
+                f,
+                "drift: cause {} share {:.0}% -> {:.0}% ({:+.0} pts)",
+                self.metric,
+                self.baseline * 100.0,
+                self.observed * 100.0,
+                self.rel_change * 100.0,
+            ),
+        }
+    }
+}
+
+/// Detection thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftPolicy {
+    /// Quantiles compared per metric.
+    pub quantiles: Vec<f64>,
+    /// Minimum relative quantile change to alarm on.
+    pub rel_tolerance: f64,
+    /// Minimum absolute quantile change (seconds) — suppresses alarms
+    /// on microscopic latencies where relative change is meaningless.
+    pub abs_tolerance_s: f64,
+    /// Minimum absolute change in a cause's e2e share (fraction).
+    pub mix_tolerance: f64,
+    /// Minimum observed sample count before quantiles are trusted.
+    pub min_count: u64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            quantiles: vec![0.50, 0.95, 0.99],
+            rel_tolerance: 0.25,
+            abs_tolerance_s: 1e-3,
+            mix_tolerance: 0.15,
+            min_count: 20,
+        }
+    }
+}
+
+/// Replays a record stream into per-request TTFT / ITL / e2e samples —
+/// the same lifecycle convention `SloMonitor::observe` uses (first
+/// token closes TTFT, later token gaps are ITLs, `Finished` closes
+/// e2e).
+fn fold_latencies(
+    records: &[TraceRecord],
+    ttft: &mut LatencySketch,
+    itl: &mut LatencySketch,
+    e2e: &mut LatencySketch,
+) {
+    let mut lanes: BTreeMap<u64, (f64, Option<f64>)> = BTreeMap::new();
+    for r in records {
+        if r.lane >= RESERVED_LANES {
+            continue;
+        }
+        let entry = lanes.entry(r.lane).or_insert_with(|| {
+            let arrival = match r.event {
+                TraceEvent::Admitted { arrival_s } => arrival_s,
+                TraceEvent::Waiting { since_s, .. } => since_s,
+                _ => r.t_s,
+            };
+            (arrival, None)
+        });
+        if let TraceEvent::Admitted { arrival_s } = r.event {
+            entry.0 = entry.0.min(arrival_s);
+        }
+        match r.event {
+            TraceEvent::FirstToken | TraceEvent::DecodeStep { .. } => {
+                match entry.1 {
+                    None => ttft.record(r.t_s - entry.0),
+                    Some(prev) => itl.record((r.t_s - prev).max(0.0)),
+                }
+                entry.1 = Some(r.t_s);
+            }
+            TraceEvent::Finished => e2e.record(r.t_s - entry.0),
+            _ => {}
+        }
+    }
+}
+
+/// A committed reference distribution: latency sketches plus the blame
+/// cause mix of a known-good run.
+#[derive(Debug, Clone)]
+pub struct DriftBaseline {
+    /// TTFT distribution of the baseline run.
+    pub ttft: LatencySketch,
+    /// Inter-token-latency distribution.
+    pub itl: LatencySketch,
+    /// End-to-end distribution.
+    pub e2e: LatencySketch,
+    /// `(cause name, e2e share)` of the baseline's blame summary.
+    pub cause_share: Vec<(String, f64)>,
+}
+
+impl DriftBaseline {
+    /// Captures a baseline from a known-good run's sorted records.
+    pub fn from_records(records: &[TraceRecord]) -> Self {
+        let mut ttft = LatencySketch::new();
+        let mut itl = LatencySketch::new();
+        let mut e2e = LatencySketch::new();
+        fold_latencies(records, &mut ttft, &mut itl, &mut e2e);
+        let mut agg = BlameAggregate::new();
+        agg.fold_spans(&blame_spans(records));
+        let cause_share = agg
+            .summary()
+            .causes
+            .iter()
+            .map(|c| (c.cause.clone(), c.e2e_share))
+            .collect();
+        DriftBaseline {
+            ttft,
+            itl,
+            e2e,
+            cause_share,
+        }
+    }
+}
+
+/// One window's worth of observation sketches.
+#[derive(Debug, Clone)]
+struct WindowSketches {
+    ttft: LatencySketch,
+    itl: LatencySketch,
+    e2e: LatencySketch,
+}
+
+impl WindowSketches {
+    fn new() -> Self {
+        WindowSketches {
+            ttft: LatencySketch::new(),
+            itl: LatencySketch::new(),
+            e2e: LatencySketch::new(),
+        }
+    }
+}
+
+/// Folds observations into time windows and compares the merged
+/// distributions (and cause mix) against the baseline.
+#[derive(Debug)]
+pub struct DriftDetector {
+    baseline: DriftBaseline,
+    policy: DriftPolicy,
+    window_s: f64,
+    windows: Vec<WindowSketches>,
+    observed_mix: Vec<(String, f64)>,
+}
+
+impl DriftDetector {
+    /// A detector comparing against `baseline` with `policy`
+    /// thresholds, windowing observations every `window_s` seconds.
+    pub fn new(baseline: DriftBaseline, policy: DriftPolicy, window_s: f64) -> Self {
+        assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "window must be positive"
+        );
+        DriftDetector {
+            baseline,
+            policy,
+            window_s,
+            windows: Vec::new(),
+            observed_mix: Vec::new(),
+        }
+    }
+
+    /// Folds a sorted record stream into the detector's windows (by
+    /// each sample's completion time) and refreshes the observed cause
+    /// mix from the stream's blame reduction.
+    pub fn observe(&mut self, records: &[TraceRecord]) {
+        // Window per sample completion: replay per window slice so each
+        // window's sketch only sees its own samples. Requests are
+        // assigned by their *arrival* window — windows then compose
+        // associatively regardless of where a lifecycle ends.
+        let mut by_window: BTreeMap<usize, Vec<TraceRecord>> = BTreeMap::new();
+        let mut lane_window: BTreeMap<u64, usize> = BTreeMap::new();
+        for r in records {
+            if r.lane >= RESERVED_LANES {
+                continue;
+            }
+            let w = *lane_window.entry(r.lane).or_insert_with(|| {
+                let arrival = match r.event {
+                    TraceEvent::Admitted { arrival_s } => arrival_s,
+                    TraceEvent::Waiting { since_s, .. } => since_s,
+                    _ => r.t_s,
+                };
+                (arrival / self.window_s).floor().max(0.0) as usize
+            });
+            by_window.entry(w).or_default().push(r.clone());
+        }
+        for (w, recs) in by_window {
+            while self.windows.len() <= w {
+                self.windows.push(WindowSketches::new());
+            }
+            let win = &mut self.windows[w];
+            fold_latencies(&recs, &mut win.ttft, &mut win.itl, &mut win.e2e);
+        }
+        let mut agg = BlameAggregate::new();
+        agg.fold_spans(&blame_spans(records));
+        self.observe_blame(&agg.summary());
+    }
+
+    /// Sets the observed cause mix from an already-computed blame
+    /// summary (for callers that aggregated blame themselves).
+    pub fn observe_blame(&mut self, summary: &BlameSummary) {
+        self.observed_mix = summary
+            .causes
+            .iter()
+            .map(|c| (c.cause.clone(), c.e2e_share))
+            .collect();
+    }
+
+    /// Windows populated so far.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Merges every window's sketches into one `(ttft, itl, e2e)`
+    /// triple — bucket-wise, so the result is identical to having
+    /// folded all samples into a single sketch (merge associativity).
+    pub fn merged(&self) -> (LatencySketch, LatencySketch, LatencySketch) {
+        let mut ttft = LatencySketch::new();
+        let mut itl = LatencySketch::new();
+        let mut e2e = LatencySketch::new();
+        for w in &self.windows {
+            ttft.merge(&w.ttft);
+            itl.merge(&w.itl);
+            e2e.merge(&w.e2e);
+        }
+        (ttft, itl, e2e)
+    }
+
+    /// Compares merged observations against the baseline; returned
+    /// alarms are in a deterministic order (metrics × quantiles, then
+    /// causes by name).
+    pub fn alarms(&self) -> Vec<DriftAlarm> {
+        let mut alarms = Vec::new();
+        let (ttft, itl, e2e) = self.merged();
+        for (name, base, obs) in [
+            ("ttft", &self.baseline.ttft, &ttft),
+            ("itl", &self.baseline.itl, &itl),
+            ("e2e", &self.baseline.e2e, &e2e),
+        ] {
+            if obs.count() < self.policy.min_count || base.count() == 0 {
+                continue;
+            }
+            for &q in &self.policy.quantiles {
+                let b = base.quantile(q);
+                let o = obs.quantile(q);
+                let abs = (o - b).abs();
+                let rel = if b > 0.0 { (o - b) / b } else { f64::INFINITY };
+                if abs > self.policy.abs_tolerance_s && rel.abs() > self.policy.rel_tolerance {
+                    alarms.push(DriftAlarm {
+                        kind: DriftKind::QuantileShift,
+                        metric: name.to_string(),
+                        quantile: q,
+                        baseline: b,
+                        observed: o,
+                        rel_change: rel,
+                    });
+                }
+            }
+        }
+        // Cause-mix shifts: union of baseline and observed causes, by
+        // name, so dropped and newly-appearing causes both alarm.
+        let mut shares: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+        for (name, s) in &self.baseline.cause_share {
+            shares.entry(name).or_insert((0.0, 0.0)).0 = *s;
+        }
+        for (name, s) in &self.observed_mix {
+            shares.entry(name).or_insert((0.0, 0.0)).1 = *s;
+        }
+        for (name, (b, o)) in shares {
+            if (o - b).abs() > self.policy.mix_tolerance {
+                alarms.push(DriftAlarm {
+                    kind: DriftKind::CauseMixShift,
+                    metric: name.to_string(),
+                    quantile: 0.0,
+                    baseline: b,
+                    observed: o,
+                    rel_change: o - b,
+                });
+            }
+        }
+        alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+
+    /// `n` requests, one per second, each with the given ttft and one
+    /// decode gap.
+    fn run(n: u64, ttft: f64, itl: f64) -> Vec<TraceRecord> {
+        let sink = TraceSink::enabled();
+        for lane in 0..n {
+            let a = lane as f64;
+            sink.record(a + 0.01, lane, TraceEvent::Admitted { arrival_s: a });
+            sink.record(a + ttft, lane, TraceEvent::FirstToken);
+            sink.record(
+                a + ttft + itl,
+                lane,
+                TraceEvent::DecodeStep {
+                    attended: 8,
+                    cached: 8,
+                },
+            );
+            sink.record(a + ttft + itl, lane, TraceEvent::Finished);
+        }
+        sink.drain()
+    }
+
+    #[test]
+    fn no_alarms_when_observation_matches_baseline() {
+        let base = DriftBaseline::from_records(&run(30, 0.2, 0.05));
+        let mut det = DriftDetector::new(base, DriftPolicy::default(), 10.0);
+        det.observe(&run(30, 0.2, 0.05));
+        assert!(det.window_count() >= 3, "arrivals span several windows");
+        assert_eq!(det.alarms(), Vec::new());
+    }
+
+    #[test]
+    fn quantile_shift_beyond_tolerance_alarms() {
+        let base = DriftBaseline::from_records(&run(30, 0.2, 0.05));
+        let mut det = DriftDetector::new(base, DriftPolicy::default(), 10.0);
+        det.observe(&run(30, 0.4, 0.05));
+        let alarms = det.alarms();
+        assert!(!alarms.is_empty());
+        let ttft_p50 = alarms
+            .iter()
+            .find(|a| a.metric == "ttft" && a.quantile == 0.5)
+            .expect("ttft p50 shifted");
+        assert_eq!(ttft_p50.kind, DriftKind::QuantileShift);
+        assert!(ttft_p50.rel_change > 0.5, "doubled ttft");
+        assert!(alarms.iter().all(|a| a.metric != "itl"), "itl unchanged");
+        assert!(ttft_p50.to_string().contains("ttft p50"));
+    }
+
+    #[test]
+    fn merged_windows_equal_single_sketch() {
+        let records = run(25, 0.3, 0.02);
+        let mut det = DriftDetector::new(
+            DriftBaseline::from_records(&records),
+            DriftPolicy::default(),
+            5.0,
+        );
+        det.observe(&records);
+        assert!(det.window_count() >= 4);
+        let (ttft, _, e2e) = det.merged();
+        let mut whole_ttft = LatencySketch::new();
+        let mut whole_itl = LatencySketch::new();
+        let mut whole_e2e = LatencySketch::new();
+        fold_latencies(&records, &mut whole_ttft, &mut whole_itl, &mut whole_e2e);
+        assert_eq!(ttft.count(), whole_ttft.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(ttft.quantile(q), whole_ttft.quantile(q));
+            assert_eq!(e2e.quantile(q), whole_e2e.quantile(q));
+        }
+    }
+
+    #[test]
+    fn cause_mix_shift_alarms() {
+        let base = DriftBaseline::from_records(&run(30, 0.2, 0.05));
+        let mut det = DriftDetector::new(base, DriftPolicy::default(), 10.0);
+        // Same latencies, but now most of each request's time is a
+        // typed kv-pool wait instead of prefill.
+        let sink = TraceSink::enabled();
+        for lane in 0..30u64 {
+            let a = lane as f64;
+            sink.record(
+                a + 0.18,
+                lane,
+                TraceEvent::Waiting {
+                    cause: crate::blame::WaitCause::KvPoolExhausted,
+                    since_s: a,
+                },
+            );
+            sink.record(a + 0.2, lane, TraceEvent::FirstToken);
+            sink.record(a + 0.25, lane, TraceEvent::Finished);
+        }
+        det.observe(&sink.drain());
+        let alarms = det.alarms();
+        let mix: Vec<&DriftAlarm> = alarms
+            .iter()
+            .filter(|a| a.kind == DriftKind::CauseMixShift)
+            .collect();
+        assert!(
+            mix.iter().any(|a| a.metric == "kv_pool_exhausted"),
+            "new dominant cause alarms: {alarms:?}"
+        );
+        assert!(
+            mix.iter().any(|a| a.rel_change < 0.0),
+            "displaced cause alarms too"
+        );
+    }
+}

@@ -204,10 +204,27 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&c) if c < 0x80 => {
+                // ASCII fast path: one byte, one char. Validating only
+                // this byte keeps the parse linear — re-checking the
+                // whole remaining input per character made multi-MB
+                // trace documents quadratic to read.
+                s.push(c as char);
+                *pos += 1;
+            }
             Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte safe).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                // Consume one UTF-8 scalar (multi-byte safe): a scalar
+                // is at most 4 bytes, so validate just that window.
+                let chunk = &b[*pos..(*pos + 4).min(b.len())];
+                let c = match std::str::from_utf8(chunk) {
+                    Ok(valid) => valid.chars().next().expect("non-empty"),
+                    Err(e) if e.valid_up_to() > 0 => std::str::from_utf8(&chunk[..e.valid_up_to()])
+                        .expect("validated prefix")
+                        .chars()
+                        .next()
+                        .expect("non-empty"),
+                    Err(e) => return Err(e.to_string()),
+                };
                 s.push(c);
                 *pos += c.len_utf8();
             }

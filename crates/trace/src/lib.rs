@@ -32,10 +32,23 @@
 //!   the line-format parser that round-trips it;
 //! - [`SloMonitor`] — windowed TTFT/ITL SLO attainment and burn-rate
 //!   gauges folded from latency observations, the admission window
-//!   series and the ledger.
+//!   series and the ledger;
+//! - [`blame_spans`] / [`BlameSummary`] — causal critical-path
+//!   attribution: typed [`WaitCause`]s recorded at every scheduler
+//!   stall decision, reduced per request into categories that tile
+//!   TTFT and e2e exactly, aggregated into per-cause sketches;
+//! - [`ExemplarReservoir`] — bounded top-k capture of the worst
+//!   requests' full event timelines (by TTFT / max-ITL / e2e), exported
+//!   as highlighted Chrome-trace lanes even when global tracing is off;
+//! - [`DriftDetector`] — windowed sketches compared against a committed
+//!   [`DriftBaseline`], raising typed [`DriftAlarm`]s on quantile or
+//!   cause-mix shifts.
 
+mod blame;
 mod breakdown;
 mod chrome;
+mod drift;
+mod exemplar;
 mod expo;
 pub mod json;
 mod ledger;
@@ -44,8 +57,14 @@ mod sketch;
 mod slo;
 mod windows;
 
+pub use blame::{
+    blame_spans, BlameAggregate, BlameBreakdown, BlameCategory, BlameCauseStat, BlameSummary,
+    WaitCause,
+};
 pub use breakdown::{reduce_spans, BreakdownSummary, SpanBreakdown};
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_exemplars};
+pub use drift::{DriftAlarm, DriftBaseline, DriftDetector, DriftKind, DriftPolicy};
+pub use exemplar::{ExemplarReservoir, ExemplarSet, ExemplarTimeline};
 pub use expo::{parse_exposition, Exposition, MetricFamily, MetricKind, Sample};
 pub use json::JsonValue;
 pub use ledger::{DeviceLedger, StepSample, Utilization};

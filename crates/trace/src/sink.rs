@@ -13,6 +13,7 @@
 //! their start alongside (`initiated_s`), so exporters can draw spans
 //! without guessing.
 
+use crate::blame::WaitCause;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -48,6 +49,17 @@ pub enum TraceEvent {
     },
     /// The request emitted its first output token.
     FirstToken,
+    /// The scheduler observed this request stalled or deferred for a
+    /// typed cause. `t_s` is when the wait was observed (the end of the
+    /// step the request sat out); the event explains the gap ending at
+    /// it, so blame attribution keeps the exact-tiling discipline.
+    Waiting {
+        /// Why the request could not make progress.
+        cause: WaitCause,
+        /// When this wait began (the request's arrival for a
+        /// never-admitted sequence) — anchors a Waiting-first lane.
+        since_s: f64,
+    },
     /// The request's decode slot emitted one token.
     DecodeStep {
         /// KV tokens the slot attended (post-sparsity read set).
@@ -109,6 +121,7 @@ impl TraceEvent {
             TraceEvent::PrefixHit { .. } => "prefix_hit",
             TraceEvent::PrefillChunk { .. } => "prefill_chunk",
             TraceEvent::FirstToken => "first_token",
+            TraceEvent::Waiting { .. } => "waiting",
             TraceEvent::DecodeStep { .. } => "decode_step",
             TraceEvent::Preempted { .. } => "preempted",
             TraceEvent::SwapOut { .. } => "swap_out",
@@ -141,6 +154,11 @@ pub struct TraceSink {
     /// Empty when disabled — `record` then returns after one branch.
     shards: Vec<Mutex<Vec<TraceRecord>>>,
     next_ord: AtomicU64,
+    /// Head-sampling stride: keep sequence lanes with
+    /// `lane % sample_every == 0` (1 = keep everything). Deterministic
+    /// by request id, so two replays sample the same heads; reserved
+    /// device/link lanes are always kept.
+    sample_every: u64,
 }
 
 impl TraceSink {
@@ -149,6 +167,7 @@ impl TraceSink {
         TraceSink {
             shards: Vec::new(),
             next_ord: AtomicU64::new(0),
+            sample_every: 1,
         }
     }
 
@@ -162,7 +181,21 @@ impl TraceSink {
         TraceSink {
             shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
             next_ord: AtomicU64::new(0),
+            sample_every: 1,
         }
+    }
+
+    /// Head-samples 1-in-`every` sequence lanes (by `lane % every == 0`,
+    /// so the choice is deterministic across replays). Device and link
+    /// lanes are always recorded. `every == 0` is normalized to 1.
+    pub fn with_sampling(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
+        self
+    }
+
+    /// The head-sampling stride (1 = record every lane).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
     }
 
     /// Whether records are being kept.
@@ -173,6 +206,10 @@ impl TraceSink {
     /// Records one event at `t_s` on `lane`. No-op on a disabled sink.
     pub fn record(&self, t_s: f64, lane: u64, event: TraceEvent) {
         if self.shards.is_empty() {
+            return;
+        }
+        if self.sample_every > 1 && lane < RESERVED_LANES && !lane.is_multiple_of(self.sample_every)
+        {
             return;
         }
         let ord = self.next_ord.fetch_add(1, Ordering::Relaxed);
@@ -263,6 +300,32 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.drain(), snap);
+    }
+
+    #[test]
+    fn head_sampling_keeps_one_in_n_lanes_and_all_reserved_lanes() {
+        let sink = TraceSink::enabled().with_sampling(4);
+        assert_eq!(sink.sample_every(), 4);
+        for lane in 0..16u64 {
+            sink.record(lane as f64, lane, TraceEvent::FirstToken);
+        }
+        sink.record(
+            20.0,
+            DEVICE_LANE,
+            TraceEvent::Step {
+                prefill_rows: 1,
+                decode_slots: 0,
+                gpu_s: 0.1,
+            },
+        );
+        let drained = sink.drain();
+        let seq_lanes: Vec<u64> = drained
+            .iter()
+            .filter(|r| r.lane < RESERVED_LANES)
+            .map(|r| r.lane)
+            .collect();
+        assert_eq!(seq_lanes, vec![0, 4, 8, 12]);
+        assert!(drained.iter().any(|r| r.lane == DEVICE_LANE));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! whether an SLO burn came with a saturated device (capacity) or an
 //! idle one (scheduling).
 
+use crate::drift::DriftAlarm;
 use crate::ledger::DeviceLedger;
 use crate::sink::{TraceEvent, TraceRecord, RESERVED_LANES};
 use crate::windows::WindowStat;
@@ -92,6 +93,10 @@ pub struct SloReport {
     pub worst_window_burn_rate: f64,
     /// Device busy fraction from the joined ledger (`None` without one).
     pub busy_fraction: Option<f64>,
+    /// Drift alarms raised against a committed baseline (empty when no
+    /// [`crate::DriftDetector`] was attached; callers running one set
+    /// this from its `alarms()`).
+    pub drift: Vec<DriftAlarm>,
     /// Per-window digests.
     pub windows: Vec<SloWindowReport>,
 }
@@ -251,6 +256,7 @@ impl SloMonitor {
             itl_burn_rate: burn(itl_attainment),
             worst_window_burn_rate: windows.iter().map(|w| w.burn_rate).fold(0.0, f64::max),
             busy_fraction: ledger.map(|l| l.utilization().busy_fraction),
+            drift: Vec::new(),
             windows,
         }
     }

@@ -19,7 +19,12 @@
 //! as a Prometheus text exposition (`METRICS_decode.prom`), and a
 //! re-run with tracing on feeds the windowed SLO monitor — rolling
 //! TTFT/ITL attainment and burn rate joined with the device ledger's
-//! busy fraction.
+//! busy fraction. The traced re-run also carries the causal blame
+//! summary (who owns each request's latency, exactly tiled) into the
+//! archived report, and an online drift detector replays the stream
+//! against a baseline built from it — a throttled second run
+//! (token budget halved) must raise quantile-shift alarms, surfaced on
+//! the SLO report.
 //!
 //! ```bash
 //! cargo run --release --example decode_serving
@@ -30,7 +35,7 @@ use pit::models::ModelConfig;
 use pit::serve::decode::{
     simulate_decode_trace, simulate_decode_trace_traced, DecodePolicy, DecodeServeConfig,
 };
-use pit::trace::{SloMonitor, SloTarget, TraceSink};
+use pit::trace::{DriftBaseline, DriftDetector, DriftPolicy, SloMonitor, SloTarget, TraceSink};
 use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
 
 fn main() {
@@ -76,18 +81,6 @@ fn main() {
         free.ttft.p95 * 1e3,
     );
 
-    // One JSON document with both runs, for the CI artifact.
-    let json = format!(
-        "{{\"continuous\":{},\"static_padded\":{}}}",
-        free.to_json(),
-        padded.to_json()
-    );
-    std::fs::write("BENCH_decode.json", &json).expect("write BENCH_decode.json");
-    println!(
-        "\nwrote both reports to BENCH_decode.json ({} bytes)",
-        json.len()
-    );
-
     // Where did the device time go? The ledger attributes every modelled
     // second; the categories tile busy time exactly, and busy + stalls +
     // idle tile the virtual clock.
@@ -121,6 +114,7 @@ fn main() {
         &trace,
         &sink,
     );
+    let records = sink.drain();
     let mut monitor = SloMonitor::new(
         SloTarget {
             ttft_s: 0.5,
@@ -129,8 +123,8 @@ fn main() {
         },
         1.0,
     );
-    monitor.observe(&sink.drain());
-    let slo = monitor.report(Some(&traced.ledger));
+    monitor.observe(&records);
+    let mut slo = monitor.report(Some(&traced.ledger));
     println!(
         "\nslo (ttft<=500ms, itl<=50ms, objective 99%): ttft attainment {:.1}% \
          (burn {:.2}), itl attainment {:.1}% (burn {:.2}), worst 1s window burn {:.2}, \
@@ -141,6 +135,65 @@ fn main() {
         slo.itl_burn_rate,
         slo.worst_window_burn_rate,
         slo.busy_fraction.expect("ledger joined") * 100.0,
+    );
+
+    // Causal blame: the traced run tiles every request's latency into
+    // typed causes, so the tail has named owners instead of a number.
+    let blame = traced.blame.as_ref().expect("traced run carries blame");
+    println!("\n{blame}");
+
+    // One JSON document with both runs, for the CI artifact. The
+    // continuous side is the traced report — bit-identical ledger and
+    // latencies (asserted below), plus the breakdown and blame blocks.
+    let json = format!(
+        "{{\"continuous\":{},\"static_padded\":{}}}",
+        traced.to_json(),
+        padded.to_json()
+    );
+    std::fs::write("BENCH_decode.json", &json).expect("write BENCH_decode.json");
+    println!(
+        "wrote both reports to BENCH_decode.json ({} bytes)",
+        json.len()
+    );
+
+    // Online drift detection: commit this run as the baseline, then
+    // replay a throttled deployment (token budget halved) against it.
+    // The healthy replay must be quiet; the throttled one must raise
+    // typed quantile-shift alarms — surfaced through the SLO report.
+    let baseline = DriftBaseline::from_records(&records);
+    let mut healthy = DriftDetector::new(baseline.clone(), DriftPolicy::default(), 30.0);
+    healthy.observe(&records);
+    slo.drift = healthy.alarms();
+    assert!(
+        slo.drift.is_empty(),
+        "a run compared against itself must not drift: {:?}",
+        slo.drift
+    );
+    let throttled_sink = TraceSink::enabled();
+    let throttled = simulate_decode_trace_traced(
+        &builder()
+            .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 64 })
+            .build()
+            .expect("valid throttled config"),
+        &trace,
+        &throttled_sink,
+    );
+    let mut detector = DriftDetector::new(baseline, DriftPolicy::default(), 30.0);
+    detector.observe(&throttled_sink.drain());
+    if let Some(b) = throttled.blame.as_ref() {
+        detector.observe_blame(b);
+    }
+    let alarms = detector.alarms();
+    println!(
+        "\ndrift vs baseline after halving the token budget ({} windows observed):",
+        detector.window_count()
+    );
+    for a in &alarms {
+        println!("  {a}");
+    }
+    assert!(
+        !alarms.is_empty(),
+        "halving the token budget must shift the latency quantiles"
     );
 
     // The CI smoke test leans on these assertions.

@@ -104,6 +104,21 @@ fn main() {
         prom.len()
     );
 
+    // Re-run the cached config with tracing on: prefix hits land as
+    // instant markers on each lane, waits carry typed causes, and the
+    // report gains the blame summary.
+    let sink = pit::trace::TraceSink::enabled();
+    let traced = pit::serve::decode::simulate_decode_trace_traced(&cached, &trace, &sink);
+    assert_eq!(traced.ledger, reuse.ledger, "tracing perturbs nothing");
+    let blame = traced.blame.as_ref().expect("traced run carries blame");
+    println!("{blame}");
+    let chrome = pit::trace::chrome_trace_json(&sink.snapshot());
+    std::fs::write("TRACE_prefix.json", &chrome).expect("write TRACE_prefix.json");
+    println!(
+        "wrote Chrome trace to TRACE_prefix.json ({} bytes)",
+        chrome.len()
+    );
+
     // The CI smoke test leans on these assertions.
     assert_eq!(reuse.requests, trace.len(), "every request served");
     assert_eq!(no_reuse.requests, trace.len());

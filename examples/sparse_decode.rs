@@ -125,15 +125,17 @@ fn main() {
     );
 
     // Re-run the heavy-hitter config with tracing on and export a
-    // Chrome `trace_event` timeline (load it at ui.perfetto.dev).
+    // Chrome `trace_event` timeline (load it at ui.perfetto.dev) with
+    // the two worst request timelines per tail metric as exemplar lanes.
     let sink = pit::trace::TraceSink::enabled();
-    let traced = pit::serve::decode::simulate_decode_trace_traced(
+    let (traced, exemplars) = pit::serve::decode::simulate_decode_trace_with_exemplars(
         &build(KvSparsityPolicy::HeavyHitter {
             recent: 128,
             heavy: 128,
         }),
         &trace,
         &sink,
+        2,
     );
     let b = traced
         .breakdown
@@ -148,7 +150,17 @@ fn main() {
         b.mean_total_s() * 1e3,
         b.requests,
     );
-    let chrome = pit::trace::chrome_trace_json(&sink.snapshot());
+    let blame = traced.blame.as_ref().expect("traced run carries blame");
+    println!("{blame}");
+    for ex in &exemplars.e2e {
+        println!(
+            "e2e exemplar: seq {} took {:.1} ms over {} events",
+            ex.lane,
+            ex.value_s * 1e3,
+            ex.records.len()
+        );
+    }
+    let chrome = pit::trace::chrome_trace_json_with_exemplars(&sink.snapshot(), &exemplars);
     std::fs::write("TRACE_decode.json", &chrome).expect("write TRACE_decode.json");
     println!(
         "wrote Chrome trace to TRACE_decode.json ({} bytes)",
@@ -186,6 +198,15 @@ fn main() {
     );
     assert!(hh.attended_fraction() < 1.0);
     assert_eq!(dense.attended_fraction(), 1.0, "dense attends everything");
+    assert!(
+        !exemplars.e2e.is_empty() && exemplars.e2e.len() <= 2,
+        "exemplar capture is bounded at k"
+    );
+    let blame_total: f64 = blame.causes.iter().map(|c| c.e2e_s).sum();
+    assert!(
+        (blame_total - blame.e2e_total_s).abs() < 1e-6,
+        "blame causes tile the end-to-end total"
+    );
     // Both drain leak-free (invariants also checked every iteration).
     for report in [&dense, &hh] {
         assert!(

@@ -118,6 +118,21 @@ fn main() {
         prom.len()
     );
 
+    // Re-run the swap config with tracing on: the exported timeline
+    // carries the PCIe link lanes (one span per transfer) and
+    // cause-named wait segments, and the report gains the blame summary.
+    let sink = pit::trace::TraceSink::enabled();
+    let traced = pit::serve::decode::simulate_decode_trace_traced(&swap, &trace, &sink);
+    assert_eq!(traced.ledger, swp.ledger, "tracing perturbs nothing");
+    let blame = traced.blame.as_ref().expect("traced run carries blame");
+    println!("{blame}");
+    let chrome = pit::trace::chrome_trace_json(&sink.snapshot());
+    std::fs::write("TRACE_swap.json", &chrome).expect("write TRACE_swap.json");
+    println!(
+        "wrote Chrome trace to TRACE_swap.json ({} bytes)",
+        chrome.len()
+    );
+
     // The CI smoke test leans on these assertions.
     assert_eq!(rec.requests, trace.len(), "every request served");
     assert_eq!(swp.requests, trace.len());

@@ -153,22 +153,27 @@ fn disabled_sink_is_observationally_free() {
         disabled.snapshot().is_empty(),
         "disabled sink records nothing"
     );
-    assert!(untraced.breakdown.is_none());
+    assert!(untraced.breakdown.is_none() && untraced.blame.is_none());
     assert!(
-        traced_off.breakdown.is_none(),
-        "no breakdown without a sink"
+        traced_off.breakdown.is_none() && traced_off.blame.is_none(),
+        "no breakdown or blame without a sink"
     );
     assert_eq!(untraced, traced_off, "disabled sink is exactly free");
     assert!(untraced.ledger.conserved());
 
-    // Tracing on perturbs nothing but the breakdown: the trace rides the
-    // virtual clock as pure observation, so every scheduling decision and
-    // counter is identical to the untraced run.
+    // Tracing on perturbs nothing but the trace-derived report blocks:
+    // the trace rides the virtual clock as pure observation, so every
+    // scheduling decision and counter is identical to the untraced run.
     let sink = TraceSink::enabled();
     let mut traced_on = simulate_decode_trace_traced(&cfg, &trace, &sink);
     assert!(traced_on.breakdown.is_some());
+    assert!(traced_on.blame.is_some());
     traced_on.breakdown = None;
-    assert_eq!(untraced, traced_on, "tracing only adds the breakdown");
+    traced_on.blame = None;
+    assert_eq!(
+        untraced, traced_on,
+        "tracing only adds the breakdown and blame blocks"
+    );
     // Sequence lanes stay clear of the reserved device/link lanes.
     assert!(sink
         .snapshot()

@@ -1,11 +1,15 @@
-//! `bench_compare` — diff two `BENCH_*.json` documents metric by metric.
+//! `bench_compare` — diff two `BENCH_*.json` documents (or two
+//! `METRICS_*.prom` expositions) metric by metric.
 //!
 //! ```bash
 //! cargo run --release --bin bench_compare -- baseline/BENCH_decode.json BENCH_decode.json
+//! cargo run --release --bin bench_compare -- baseline/METRICS_sparse.prom METRICS_sparse.prom
 //! ```
 //!
-//! Both files are parsed with `pit_trace`'s JSON reader, flattened to
-//! dotted numeric paths (`heavy_hitter.itl.p95`, …) and joined on path.
+//! JSON files are parsed with `pit_trace`'s reader and flattened to
+//! dotted numeric paths (`heavy_hitter.itl.p95`, …); a `.prom` file is
+//! parsed as a Prometheus text exposition and flattened to
+//! `family_suffix{labels}` paths instead. Both sides are joined on path.
 //! Changes beyond the threshold (default 2%, `--threshold 0.05` for 5%)
 //! are printed worst-first and labelled **regression** / **improvement**
 //! when the metric's good direction is known (`*_per_s`, hit counters,
@@ -17,7 +21,7 @@
 //! against the committed baselines and strict against same-commit
 //! replays, where *any* drift is a determinism bug.
 
-use pit_trace::JsonValue;
+use pit_trace::{parse_exposition, JsonValue};
 use std::process::ExitCode;
 
 /// Flattens every numeric leaf into (dotted path, value).
@@ -52,7 +56,51 @@ enum Direction {
     Neutral,
 }
 
+/// Direction rules for exposition paths (`family_suffix{labels}`),
+/// judged by family name. Blame attribution is deliberately neutral: a
+/// cause's share moving is a mix shift to look at, not a score.
+fn prom_direction(path: &str) -> Direction {
+    let family = path.split('{').next().unwrap_or(path);
+    if family.starts_with("pit_blame_") {
+        return Direction::Neutral;
+    }
+    let higher = [
+        "pit_tokens_per_second",
+        "pit_device_mfu",
+        "pit_device_busy_fraction",
+        "pit_requests_total",
+        "pit_real_tokens_total",
+        "pit_kv_attended_fraction",
+    ];
+    let lower = [
+        "pit_ttft_seconds",
+        "pit_itl_seconds",
+        "pit_e2e_seconds",
+        "pit_request_latency_seconds",
+        "pit_rejected_total",
+        "pit_recomputed_tokens_total",
+        "pit_processed_tokens_total",
+        "pit_padding_waste_fraction",
+        "pit_device_idle_seconds_total",
+        "pit_device_swap_d2h_stall_seconds_total",
+        "pit_device_swap_h2d_stall_seconds_total",
+        "pit_device_clock_seconds_total",
+    ];
+    if higher.contains(&family) {
+        Direction::HigherIsBetter
+    } else if lower.iter().any(|l| family.starts_with(l)) {
+        // starts_with also catches the `_sum`/`_count` suffixes the
+        // summary families append.
+        Direction::LowerIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
 fn direction(path: &str) -> Direction {
+    if path.starts_with("pit_") {
+        return prom_direction(path);
+    }
     let leaf = path.rsplit('.').next().unwrap_or(path);
     let higher = [
         "tokens_per_s",
@@ -97,9 +145,29 @@ fn direction(path: &str) -> Direction {
 
 fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let v = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let mut out = Vec::new();
-    flatten("", &v, &mut out);
+    if path.ends_with(".prom") {
+        let expo = parse_exposition(&text).map_err(|e| format!("{path}: {e}"))?;
+        for family in expo.families() {
+            for s in &family.samples {
+                let mut key = format!("{}{}", family.name, s.suffix);
+                if !s.labels.is_empty() {
+                    key.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            key.push(',');
+                        }
+                        key.push_str(&format!("{k}=\"{v}\""));
+                    }
+                    key.push('}');
+                }
+                out.push((key, s.value));
+            }
+        }
+    } else {
+        let v = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        flatten("", &v, &mut out);
+    }
     out.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(out)
 }
@@ -131,7 +199,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict] [--json]"
+                    "usage: bench_compare OLD.{{json|prom}} NEW.{{json|prom}} [--threshold 0.02] [--strict] [--json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -139,7 +207,7 @@ fn main() -> ExitCode {
         }
     }
     let [old_path, new_path] = files.as_slice() else {
-        eprintln!("usage: bench_compare OLD.json NEW.json [--threshold 0.02] [--strict] [--json]");
+        eprintln!("usage: bench_compare OLD.{{json|prom}} NEW.{{json|prom}} [--threshold 0.02] [--strict] [--json]");
         return ExitCode::from(2);
     };
     let (old, new) = match (load(old_path), load(new_path)) {
