@@ -55,7 +55,8 @@ use pit_swap::{plan_swap_out, PageDesc, RestoreQueue, SwapEngine};
 use pit_tensor::DType;
 use pit_trace::{
     blame_spans, reduce_spans, BlameAggregate, BreakdownSummary, ExemplarReservoir, ExemplarSet,
-    StepSample, TraceEvent, TraceRecord, TraceSink, WaitCause, DEVICE_LANE, RESERVED_LANES,
+    MetricsHub, StepSample, TraceEvent, TraceRecord, TraceSink, WaitCause, DEVICE_LANE,
+    RESERVED_LANES,
 };
 use pit_workloads::DecodeTrace;
 use std::collections::{BTreeMap, VecDeque};
@@ -793,6 +794,26 @@ pub fn simulate_decode_trace_with_exemplars(
     sink: &TraceSink,
     exemplar_k: usize,
 ) -> (DecodeReport, ExemplarSet) {
+    simulate_decode_trace_observed(cfg, trace, sink, exemplar_k, None)
+}
+
+/// [`simulate_decode_trace_with_exemplars`] that additionally publishes
+/// live metrics into a [`MetricsHub`] as the replay runs — lifecycle
+/// events, per-step ledger charges and KV occupancy at step granularity,
+/// so a concurrently attached [`pit_trace::ScrapeServer`] observes the
+/// run mid-flight.
+///
+/// The hub is strictly write-only from the replay's point of view:
+/// nothing the simulation computes reads hub state, so attaching a hub
+/// (even one being hammered by scrapers on other threads) leaves the
+/// returned report byte-identical to a hub-free run.
+pub fn simulate_decode_trace_observed(
+    cfg: &DecodeServeConfig,
+    trace: &DecodeTrace,
+    sink: &TraceSink,
+    exemplar_k: usize,
+    hub: Option<&MetricsHub>,
+) -> (DecodeReport, ExemplarSet) {
     let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
     let mut kv = PagedKvCache::new(cfg.kv_config());
     let mut metrics = DecodeMetrics::new();
@@ -814,7 +835,7 @@ pub fn simulate_decode_trace_with_exemplars(
             prefix_hit: false,
         })
         .collect();
-    let mut rec = Recorder::new(sink, exemplar_k);
+    let mut rec = Recorder::new(sink, exemplar_k, hub);
 
     let swap = matches!(cfg.preempt, PreemptPolicy::SwapToHost);
     let mut name = cfg.policy.name().to_string();
@@ -874,6 +895,9 @@ pub fn simulate_decode_trace_with_exemplars(
         agg.fold_spans(&blame_spans(&records));
         metrics.set_blame(agg.summary());
     }
+    if let Some(h) = hub {
+        h.finish();
+    }
     (
         metrics.report(&name, kv.stats(), CacheStats::of(&cache)),
         rec.finish(),
@@ -890,19 +914,56 @@ struct Recorder<'a> {
     reservoir: ExemplarReservoir,
     timelines: BTreeMap<u64, Vec<TraceRecord>>,
     ord: u64,
+    /// Live metrics plane, if attached. Strictly write-only: the loop
+    /// never reads it, so replays stay byte-identical with it attached.
+    hub: Option<&'a MetricsHub>,
 }
 
 impl<'a> Recorder<'a> {
-    fn new(sink: &'a TraceSink, exemplar_k: usize) -> Self {
+    fn new(sink: &'a TraceSink, exemplar_k: usize, hub: Option<&'a MetricsHub>) -> Self {
         Recorder {
             sink,
             reservoir: ExemplarReservoir::new(exemplar_k),
             timelines: BTreeMap::new(),
             ord: 0,
+            hub,
+        }
+    }
+
+    /// Charges one step's category split and the post-step KV occupancy
+    /// into the attached hub (no-op without one).
+    fn publish_step(&self, sample: &StepSample, occupancy: f64) {
+        if let Some(h) = self.hub {
+            h.charge_step(sample);
+            h.set_kv_occupancy(occupancy);
+        }
+    }
+
+    /// Charges idle virtual-clock seconds into the attached hub.
+    fn publish_idle(&self, seconds: f64) {
+        if let Some(h) = self.hub {
+            h.charge_idle(seconds);
+        }
+    }
+
+    /// Charges an eviction-DMA stall into the attached hub.
+    fn publish_d2h_stall(&self, seconds: f64) {
+        if let Some(h) = self.hub {
+            h.charge_d2h_stall(seconds);
+        }
+    }
+
+    /// Charges a restore-DMA stall into the attached hub.
+    fn publish_h2d_stall(&self, seconds: f64) {
+        if let Some(h) = self.hub {
+            h.charge_h2d_stall(seconds);
         }
     }
 
     fn record(&mut self, t_s: f64, lane: u64, event: TraceEvent) {
+        if let Some(h) = self.hub {
+            h.on_record(t_s, lane, &event);
+        }
         if self.reservoir.is_enabled() && lane < RESERVED_LANES {
             let finished = matches!(event, TraceEvent::Finished);
             self.timelines.entry(lane).or_default().push(TraceRecord {
@@ -1045,8 +1106,10 @@ fn run_continuous(
                 // an h2d stall; waiting for a future arrival is idle.
                 if restore <= arrival {
                     metrics.charge_h2d_stall(next - clock_s);
+                    rec.publish_h2d_stall(next - clock_s);
                 } else {
                     metrics.charge_idle(next - clock_s);
+                    rec.publish_idle(next - clock_s);
                 }
                 clock_s = next;
             }
@@ -1343,6 +1406,7 @@ fn run_continuous(
             if let Some(ready) = restoring.next_ready_s() {
                 if ready > clock_s {
                     metrics.charge_h2d_stall(ready - clock_s);
+                    rec.publish_h2d_stall(ready - clock_s);
                     clock_s = ready;
                     // The whole scheduler waited out the transfer; pin
                     // the wait on the blocked head — a stalled prefill,
@@ -1439,6 +1503,7 @@ fn run_continuous(
             kv.occupancy(),
             kv.fragmentation(),
         );
+        rec.publish_step(&sample, kv.occupancy());
         rec.record(
             clock_s,
             DEVICE_LANE,
@@ -1684,6 +1749,7 @@ fn preempt_victim(
             // The eviction DMA gates the reclaiming step: the clock
             // advance is a d2h stall on the ledger.
             metrics.charge_d2h_stall(*clock_s - initiated_s);
+            rec.publish_d2h_stall(*clock_s - initiated_s);
             metrics.record_swap_preempt(saved);
             rec.record(
                 initiated_s,
@@ -1742,6 +1808,7 @@ fn run_static(
         let arrival = waiting.front().expect("non-empty").arrival_s;
         if arrival > clock_s {
             metrics.charge_idle(arrival - clock_s);
+            rec.publish_idle(arrival - clock_s);
             clock_s = arrival;
         }
         let mut batch: Vec<Seq> = Vec::new();
@@ -1822,6 +1889,7 @@ fn run_static(
             kv.occupancy(),
             kv.fragmentation(),
         );
+        rec.publish_step(&sample, kv.occupancy());
         rec.record(
             clock_s,
             DEVICE_LANE,
@@ -1859,6 +1927,7 @@ fn run_static(
             clock_s += gpu_s;
             metrics.charge_step(&sample);
             metrics.record_step(0, live, b, gpu_s, kv.occupancy(), kv.fragmentation());
+            rec.publish_step(&sample, kv.occupancy());
             rec.record(
                 clock_s,
                 DEVICE_LANE,

@@ -75,13 +75,15 @@ pub mod runtime;
 pub mod scheduler;
 
 pub use decode::{
-    simulate_decode_trace, simulate_decode_trace_traced, ConfigError, DecodePolicy,
-    DecodeServeConfig, DecodeServeConfigBuilder, KvSparsityPolicy, PreemptPolicy,
+    simulate_decode_trace, simulate_decode_trace_observed, simulate_decode_trace_traced,
+    ConfigError, DecodePolicy, DecodeServeConfig, DecodeServeConfigBuilder, KvSparsityPolicy,
+    PreemptPolicy,
 };
 pub use metrics::{CacheStats, DecodeMetrics, DecodeReport, Metrics, Percentiles, ServingReport};
 pub use queue::BoundedQueue;
 pub use runtime::{
-    batch_gpu_seconds, batch_step_sample, serve_trace, serve_trace_arrivals, simulate_trace,
-    simulate_trace_arrivals, AdmissionMode, ServeConfig,
+    batch_gpu_seconds, batch_step_sample, serve_trace, serve_trace_arrivals,
+    serve_trace_arrivals_observed, simulate_trace, simulate_trace_arrivals, AdmissionMode,
+    ServeConfig,
 };
 pub use scheduler::{BatchPolicy, FormedBatch};

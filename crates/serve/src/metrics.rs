@@ -345,93 +345,10 @@ fn blame_exposition(out: &mut Exposition, blame: &BlameSummary) {
 }
 
 /// Appends the device-time ledger's families to an exposition (shared by
-/// both report kinds).
+/// both report kinds; the family set lives on [`DeviceLedger`] so the
+/// live metrics hub emits the identical names).
 fn ledger_exposition(out: &mut Exposition, ledger: &DeviceLedger) {
-    let u = ledger.utilization();
-    out.gauge(
-        "pit_device_busy_fraction",
-        "Device busy seconds over the virtual clock",
-        u.busy_fraction,
-    );
-    out.gauge(
-        "pit_device_mfu",
-        "Useful over executed FLOPs (model FLOP utilisation)",
-        u.mfu,
-    );
-    for (name, help, ps) in [
-        (
-            "pit_device_prefill_attention_seconds_total",
-            "Busy seconds in prefill attention",
-            ledger.prefill_attention_ps,
-        ),
-        (
-            "pit_device_decode_attention_seconds_total",
-            "Busy seconds in decode attention",
-            ledger.decode_attention_ps,
-        ),
-        (
-            "pit_device_dense_gemm_seconds_total",
-            "Busy seconds in dense GEMM and elementwise work",
-            ledger.dense_gemm_ps,
-        ),
-        (
-            "pit_device_sparse_conversion_seconds_total",
-            "Busy seconds building sparse-format indices",
-            ledger.sparse_conversion_ps,
-        ),
-        (
-            "pit_device_jit_search_seconds_total",
-            "Busy seconds in Algorithm-1 kernel search",
-            ledger.jit_search_ps,
-        ),
-        (
-            "pit_device_busy_seconds_total",
-            "Device busy seconds (sum of the category counters)",
-            ledger.busy_ps,
-        ),
-        (
-            "pit_device_swap_d2h_stall_seconds_total",
-            "Virtual-clock seconds stalled on device-to-host swaps",
-            ledger.swap_d2h_stall_ps,
-        ),
-        (
-            "pit_device_swap_h2d_stall_seconds_total",
-            "Virtual-clock seconds stalled on host-to-device restores",
-            ledger.swap_h2d_stall_ps,
-        ),
-        (
-            "pit_device_idle_seconds_total",
-            "Virtual-clock seconds the device sat idle",
-            ledger.idle_ps,
-        ),
-        (
-            "pit_device_clock_seconds_total",
-            "Virtual clock covered by the ledger",
-            ledger.clock_ps,
-        ),
-    ] {
-        out.counter(name, help, ps as f64 / 1e12);
-    }
-    out.counter(
-        "pit_link_d2h_bytes_total",
-        "Bytes moved device to host over the swap link",
-        u.d2h_bytes as f64,
-    );
-    out.counter(
-        "pit_link_h2d_bytes_total",
-        "Bytes moved host to device over the swap link",
-        u.h2d_bytes as f64,
-    );
-    out.counter(
-        "pit_jit_searches_total",
-        "Algorithm-1 searches actually run (cache misses)",
-        ledger.jit_searches as f64,
-    );
-    out.gauge(
-        "pit_jit_search_measured_seconds",
-        "Measured search wall time (annotation; the modelled cost is charged)",
-        ledger.jit_search_measured_s,
-    );
+    ledger.exposition_into(out);
 }
 
 impl fmt::Display for ServingReport {

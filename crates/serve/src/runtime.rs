@@ -27,7 +27,9 @@ use pit_gpusim::DeviceSpec;
 use pit_models::{Engine, ModelConfig};
 use pit_sparse::Mask;
 use pit_tensor::DType;
-use pit_trace::{BlameAggregate, BlameBreakdown, BlameCategory, StepSample, WindowSeries};
+use pit_trace::{
+    BlameAggregate, BlameBreakdown, BlameCategory, MetricsHub, StepSample, TraceEvent, WindowSeries,
+};
 use pit_workloads::ArrivalTrace;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -276,13 +278,37 @@ fn worker_loop(
     batches: &BoundedQueue<WorkItem>,
     cache: &JitCache,
     metrics: &Metrics,
+    hub: Option<&MetricsHub>,
+    started: Instant,
 ) {
     while let Some(item) = batches.pop() {
         let sample = batch_step_sample(cfg, &item.formed, cache);
         metrics.record_batch(&item.formed, sample.gpu_s);
         metrics.charge_step(&sample);
+        if let Some(h) = hub {
+            h.charge_step(&sample);
+            h.add("pit_hub_steps_total", 1.0);
+            h.add("pit_hub_gpu_seconds_total", sample.gpu_s);
+            h.add(
+                "pit_hub_batch_real_tokens_total",
+                item.formed.real_tokens as f64,
+            );
+            h.add(
+                "pit_hub_batch_padded_tokens_total",
+                item.formed.padded_tokens as f64,
+            );
+        }
         for r in item.requests {
-            metrics.record_latency(r.submitted.elapsed().as_secs_f64());
+            let latency_s = r.submitted.elapsed().as_secs_f64();
+            metrics.record_latency(latency_s);
+            if let Some(h) = hub {
+                // Whole-batch service: the first token lands at batch
+                // completion, so TTFT and e2e coincide (cf. `batch_blame`).
+                let t_s = started.elapsed().as_secs_f64();
+                h.observe_ttft(t_s, latency_s);
+                h.observe_e2e(t_s, latency_s);
+                h.add("pit_hub_finished_total", 1.0);
+            }
             let _ = r.done.send(());
         }
     }
@@ -349,7 +375,7 @@ pub fn serve_trace(cfg: &ServeConfig, trace: &[usize]) -> ServingReport {
 
     thread::scope(|s| {
         for _ in 0..cfg.workers.max(1) {
-            s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics));
+            s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics, None, started));
         }
         s.spawn(|| scheduler_loop(cfg, &admission, &batches, min_fill));
 
@@ -467,6 +493,22 @@ fn batch_blame(arrival_s: f64, end_s: f64, blocked_s: f64, execute_s: f64) -> Bl
 /// This is the first step of the ROADMAP's async front-end item: arrivals
 /// are driven by the trace clock instead of closed-loop clients.
 pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingReport {
+    serve_trace_arrivals_observed(cfg, trace, None)
+}
+
+/// [`serve_trace_arrivals`] that additionally publishes live metrics into
+/// a [`MetricsHub`] while the threaded replay runs: the submitter
+/// publishes admissions, rejections and the live queue-depth gauge on the
+/// trace clock; workers publish per-batch ledger charges, token counters
+/// and per-request TTFT/e2e observations on the wall clock since run
+/// start (the two clocks coincide while the submitter keeps schedule).
+/// The hub is write-only for every thread — no publisher reads it — so a
+/// concurrent scraper never perturbs scheduling decisions.
+pub fn serve_trace_arrivals_observed(
+    cfg: &ServeConfig,
+    trace: &ArrivalTrace,
+    hub: Option<&MetricsHub>,
+) -> ServingReport {
     let admission: BoundedQueue<Request> = BoundedQueue::new(cfg.queue_capacity.max(1));
     let batches: BoundedQueue<WorkItem> = BoundedQueue::new(cfg.workers.max(1) * 2);
     let cache = JitCache::with_capacity(cfg.cache_capacity.max(1));
@@ -476,7 +518,7 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
 
     let windows = thread::scope(|s| {
         for _ in 0..cfg.workers.max(1) {
-            s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics));
+            s.spawn(|| worker_loop(cfg, &batches, &cache, &metrics, hub, started));
         }
         s.spawn(|| scheduler_loop(cfg, &admission, &batches, min_fill));
 
@@ -486,7 +528,7 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
         // clock (the arrival schedule), the one axis both replays share.
         let submitter = s.spawn(|| {
             let mut windows = cfg.arrival_window_s.map(WindowSeries::new);
-            for (&len, &arrival) in trace.lens.iter().zip(&trace.arrival_s) {
+            for (i, (&len, &arrival)) in trace.lens.iter().zip(&trace.arrival_s).enumerate() {
                 let target = started + Duration::from_secs_f64(arrival);
                 if let Some(wait) = target.checked_duration_since(Instant::now()) {
                     thread::sleep(wait);
@@ -505,17 +547,39 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
                         if let Some(w) = windows.as_mut() {
                             w.admitted(arrival);
                         }
+                        if let Some(h) = hub {
+                            h.on_record(
+                                arrival,
+                                i as u64,
+                                &TraceEvent::Admitted { arrival_s: arrival },
+                            );
+                            h.set_gauge("pit_hub_admission_queue_depth", admission.len() as f64);
+                        }
                     }
                     AdmissionMode::RejectWhenFull => match admission.try_push(request) {
                         Ok(()) => {
                             if let Some(w) = windows.as_mut() {
                                 w.admitted(arrival);
                             }
+                            if let Some(h) = hub {
+                                h.on_record(
+                                    arrival,
+                                    i as u64,
+                                    &TraceEvent::Admitted { arrival_s: arrival },
+                                );
+                                h.set_gauge(
+                                    "pit_hub_admission_queue_depth",
+                                    admission.len() as f64,
+                                );
+                            }
                         }
                         Err(TryPushError::Full) => {
                             metrics.record_rejected();
                             if let Some(w) = windows.as_mut() {
                                 w.rejected(arrival);
+                            }
+                            if let Some(h) = hub {
+                                h.on_record(arrival, i as u64, &TraceEvent::Rejected);
                             }
                         }
                         Err(TryPushError::ClosedQueue) => break,
@@ -528,6 +592,9 @@ pub fn serve_trace_arrivals(cfg: &ServeConfig, trace: &ArrivalTrace) -> ServingR
         admission.close();
         windows
     });
+    if let Some(h) = hub {
+        h.finish();
+    }
 
     let mut report = metrics.report(
         cfg.policy.name(),

@@ -259,6 +259,33 @@ impl DriftDetector {
         self.observe_blame(&agg.summary());
     }
 
+    /// Records one time-to-first-token observation into the window at
+    /// `t_s` — the incremental feed the live [`crate::MetricsHub`] uses.
+    /// Merge associativity makes `alarms()` indifferent to which window
+    /// a sample lands in, so the incremental and batch (`observe`) paths
+    /// agree on the merged comparison.
+    pub fn record_ttft(&mut self, t_s: f64, v_s: f64) {
+        self.window_at(t_s).ttft.record(v_s);
+    }
+
+    /// Records one inter-token-latency observation at `t_s`.
+    pub fn record_itl(&mut self, t_s: f64, v_s: f64) {
+        self.window_at(t_s).itl.record(v_s);
+    }
+
+    /// Records one end-to-end completion observation at `t_s`.
+    pub fn record_e2e(&mut self, t_s: f64, v_s: f64) {
+        self.window_at(t_s).e2e.record(v_s);
+    }
+
+    fn window_at(&mut self, t_s: f64) -> &mut WindowSketches {
+        let idx = (t_s.max(0.0) / self.window_s) as usize;
+        while self.windows.len() <= idx {
+            self.windows.push(WindowSketches::new());
+        }
+        &mut self.windows[idx]
+    }
+
     /// Sets the observed cause mix from an already-computed blame
     /// summary (for callers that aggregated blame themselves).
     pub fn observe_blame(&mut self, summary: &BlameSummary) {
@@ -321,7 +348,13 @@ impl DriftDetector {
             }
         }
         // Cause-mix shifts: union of baseline and observed causes, by
-        // name, so dropped and newly-appearing causes both alarm.
+        // name, so dropped and newly-appearing causes both alarm. An
+        // empty observed mix means no blame reduction has been fed yet
+        // (the incremental latency feed carries no causes) — that is
+        // "not measured", not "measured zero", so it raises nothing.
+        if self.observed_mix.is_empty() {
+            return alarms;
+        }
         let mut shares: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
         for (name, s) in &self.baseline.cause_share {
             shares.entry(name).or_insert((0.0, 0.0)).0 = *s;

@@ -161,6 +161,13 @@ impl Exposition {
         });
     }
 
+    /// Adds a family with explicit samples — the escape hatch for
+    /// labelled counters/gauges the convenience helpers cannot express
+    /// (e.g. one counter family with a sample per cause label).
+    pub fn family(&mut self, name: &str, help: &str, kind: MetricKind, samples: Vec<Sample>) {
+        self.push(name, help, kind, samples);
+    }
+
     /// Adds a counter family with one unlabelled sample.
     pub fn counter(&mut self, name: &str, help: &str, value: f64) {
         self.push(

@@ -316,6 +316,99 @@ impl DeviceLedger {
         categories == self.busy_ps && clock == self.clock_ps
     }
 
+    /// Appends the ledger's Prometheus families to an exposition — the
+    /// `pit_device_*` / `pit_link_*` / `pit_jit_*` family set both
+    /// serving reports and the live [`crate::MetricsHub`] share, so a
+    /// scraped document and a committed `METRICS_*.prom` artifact speak
+    /// the same names.
+    pub fn exposition_into(&self, out: &mut crate::expo::Exposition) {
+        let u = self.utilization();
+        out.gauge(
+            "pit_device_busy_fraction",
+            "Device busy seconds over the virtual clock",
+            u.busy_fraction,
+        );
+        out.gauge(
+            "pit_device_mfu",
+            "Useful over executed FLOPs (model FLOP utilisation)",
+            u.mfu,
+        );
+        for (name, help, ps) in [
+            (
+                "pit_device_prefill_attention_seconds_total",
+                "Busy seconds in prefill attention",
+                self.prefill_attention_ps,
+            ),
+            (
+                "pit_device_decode_attention_seconds_total",
+                "Busy seconds in decode attention",
+                self.decode_attention_ps,
+            ),
+            (
+                "pit_device_dense_gemm_seconds_total",
+                "Busy seconds in dense GEMM and elementwise work",
+                self.dense_gemm_ps,
+            ),
+            (
+                "pit_device_sparse_conversion_seconds_total",
+                "Busy seconds building sparse-format indices",
+                self.sparse_conversion_ps,
+            ),
+            (
+                "pit_device_jit_search_seconds_total",
+                "Busy seconds in Algorithm-1 kernel search",
+                self.jit_search_ps,
+            ),
+            (
+                "pit_device_busy_seconds_total",
+                "Device busy seconds (sum of the category counters)",
+                self.busy_ps,
+            ),
+            (
+                "pit_device_swap_d2h_stall_seconds_total",
+                "Virtual-clock seconds stalled on device-to-host swaps",
+                self.swap_d2h_stall_ps,
+            ),
+            (
+                "pit_device_swap_h2d_stall_seconds_total",
+                "Virtual-clock seconds stalled on host-to-device restores",
+                self.swap_h2d_stall_ps,
+            ),
+            (
+                "pit_device_idle_seconds_total",
+                "Virtual-clock seconds the device sat idle",
+                self.idle_ps,
+            ),
+            (
+                "pit_device_clock_seconds_total",
+                "Virtual clock covered by the ledger",
+                self.clock_ps,
+            ),
+        ] {
+            out.counter(name, help, ps as f64 / 1e12);
+        }
+        out.counter(
+            "pit_link_d2h_bytes_total",
+            "Bytes moved device to host over the swap link",
+            u.d2h_bytes as f64,
+        );
+        out.counter(
+            "pit_link_h2d_bytes_total",
+            "Bytes moved host to device over the swap link",
+            u.h2d_bytes as f64,
+        );
+        out.counter(
+            "pit_jit_searches_total",
+            "Algorithm-1 searches actually run (cache misses)",
+            self.jit_searches as f64,
+        );
+        out.gauge(
+            "pit_jit_search_measured_seconds",
+            "Measured search wall time (annotation; the modelled cost is charged)",
+            self.jit_search_measured_s,
+        );
+    }
+
     /// The utilization digest.
     pub fn utilization(&self) -> Utilization {
         Utilization {

@@ -42,7 +42,15 @@
 //!   as highlighted Chrome-trace lanes even when global tracing is off;
 //! - [`DriftDetector`] — windowed sketches compared against a committed
 //!   [`DriftBaseline`], raising typed [`DriftAlarm`]s on quantile or
-//!   cause-mix shifts.
+//!   cause-mix shifts;
+//! - [`MetricsHub`] — the *live* observability plane: a sharded,
+//!   thread-safe registry the serving loops publish into at step
+//!   granularity (counters, gauges, windowed sketch snapshots in a
+//!   bounded ring) with the SLO monitor and drift detector evaluating
+//!   per-window inside the hub, so alarms fire mid-run;
+//! - [`ScrapeServer`] — a std-only `TcpListener` endpoint serving
+//!   `GET /metrics` (Prometheus text), `/slo` and `/series` (JSON) from
+//!   a hub, with a graceful [`ShutdownHandle`].
 
 mod blame;
 mod breakdown;
@@ -50,6 +58,8 @@ mod chrome;
 mod drift;
 mod exemplar;
 mod expo;
+pub mod http;
+pub mod hub;
 pub mod json;
 mod ledger;
 mod sink;
@@ -66,6 +76,8 @@ pub use chrome::{chrome_trace_json, chrome_trace_json_with_exemplars};
 pub use drift::{DriftAlarm, DriftBaseline, DriftDetector, DriftKind, DriftPolicy};
 pub use exemplar::{ExemplarReservoir, ExemplarSet, ExemplarTimeline};
 pub use expo::{parse_exposition, Exposition, MetricFamily, MetricKind, Sample};
+pub use http::{ScrapeServer, ShutdownHandle};
+pub use hub::{HubConfig, HubSeries, HubSeriesWindow, MetricsHub, COUNTER_SHARDS};
 pub use json::JsonValue;
 pub use ledger::{DeviceLedger, StepSample, Utilization};
 pub use sink::{

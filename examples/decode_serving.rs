@@ -29,16 +29,47 @@
 //! ```bash
 //! cargo run --release --example decode_serving
 //! ```
+//!
+//! With `--serve-metrics <port>` the example additionally binds a live
+//! scrape endpoint (`pit::trace::ScrapeServer`) on `127.0.0.1:<port>`
+//! (`0` picks an ephemeral port), re-runs the continuous replay with a
+//! `MetricsHub` attached so `curl /metrics`, `/slo` and `/series` (or
+//! `pit_top`) observe it mid-flight, asserts the hubbed report is
+//! byte-identical to the hub-free one, holds the endpoint open for
+//! `--hold-secs <n>` (default 0) and shuts down gracefully.
 
 use pit::gpusim::DeviceSpec;
 use pit::models::ModelConfig;
 use pit::serve::decode::{
-    simulate_decode_trace, simulate_decode_trace_traced, DecodePolicy, DecodeServeConfig,
+    simulate_decode_trace, simulate_decode_trace_observed, simulate_decode_trace_traced,
+    DecodePolicy, DecodeServeConfig,
 };
-use pit::trace::{DriftBaseline, DriftDetector, DriftPolicy, SloMonitor, SloTarget, TraceSink};
+use pit::trace::{
+    DriftBaseline, DriftDetector, DriftPolicy, HubConfig, MetricsHub, ScrapeServer, SloMonitor,
+    SloTarget, TraceSink,
+};
 use pit::workloads::{DatasetSpec, DecodeSpec, DecodeTrace};
+use std::sync::Arc;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut serve_port: Option<String> = None;
+    let mut hold_secs = 0.0_f64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--serve-metrics" => {
+                serve_port = Some(args.next().expect("--serve-metrics wants a port"));
+            }
+            "--hold-secs" => {
+                hold_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--hold-secs wants a number");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
     let spec = DatasetSpec::mnli();
     let out = DecodeSpec::geometric(128.0, 1, 512);
     let trace = DecodeTrace::poisson(&spec, &out, 160, 300.0, 31);
@@ -161,6 +192,7 @@ fn main() {
     // The healthy replay must be quiet; the throttled one must raise
     // typed quantile-shift alarms — surfaced through the SLO report.
     let baseline = DriftBaseline::from_records(&records);
+    let hub_baseline = baseline.clone();
     let mut healthy = DriftDetector::new(baseline.clone(), DriftPolicy::default(), 30.0);
     healthy.observe(&records);
     slo.drift = healthy.alarms();
@@ -254,4 +286,53 @@ fn main() {
         "one TTFT observation per request"
     );
     println!("\npadding-free continuous batching wins on every axis ✓");
+
+    // Live observability plane (opt-in): bind the scrape endpoint, then
+    // re-run the continuous replay with a MetricsHub attached — the same
+    // SLO target as the monitor above and a drift baseline from the
+    // traced run, so /slo carries attainment and any firing alarms. The
+    // hub is write-only for the replay, so the hubbed report must be
+    // byte-identical to the hub-free traced one even while a scraper
+    // hammers the endpoint.
+    if let Some(port) = serve_port {
+        let hub = Arc::new(MetricsHub::new(HubConfig {
+            window_s: 1.0,
+            ring_capacity: 240,
+            slo: Some(SloTarget {
+                ttft_s: 0.5,
+                itl_s: 0.05,
+                objective: 0.99,
+            }),
+            drift: Some((hub_baseline, DriftPolicy::default())),
+        }));
+        let server = ScrapeServer::bind(hub.clone(), &format!("127.0.0.1:{port}"))
+            .expect("bind scrape endpoint");
+        println!(
+            "\nserving live metrics at http://{} (GET /metrics, /slo, /series, /healthz)",
+            server.local_addr()
+        );
+        let hub_sink = TraceSink::enabled();
+        let (hubbed, _) = simulate_decode_trace_observed(
+            &builder()
+                .policy(DecodePolicy::ContinuousPaddingFree { token_budget: 128 })
+                .build()
+                .expect("valid continuous config"),
+            &trace,
+            &hub_sink,
+            0,
+            Some(&hub),
+        );
+        assert_eq!(
+            hubbed.to_json(),
+            traced.to_json(),
+            "attaching the metrics hub must not change the report by one byte"
+        );
+        println!("hubbed replay report is byte-identical to the hub-free run ✓");
+        if hold_secs > 0.0 {
+            println!("holding the endpoint open for {hold_secs:.0}s (scrape away)...");
+            std::thread::sleep(std::time::Duration::from_secs_f64(hold_secs));
+        }
+        let served = server.shutdown();
+        println!("metrics endpoint closed cleanly after {served} requests");
+    }
 }

@@ -1,0 +1,241 @@
+//! Live-observability invariants across the whole stack: a scrape
+//! endpoint attached to an in-flight replay must (1) never perturb the
+//! replay — the final report is byte-identical with and without the hub,
+//! even while scrapers hammer the endpoint; (2) serve only well-formed
+//! payloads — every `/metrics` body round-trips through
+//! `parse_exposition`, `/slo` and `/series` parse as JSON; and (3) show
+//! monotone counters — a later scrape never reports a smaller value for
+//! any counter sample.
+
+use pit::gpusim::DeviceSpec;
+use pit::models::ModelConfig;
+use pit::serve::decode::{
+    simulate_decode_trace_observed, simulate_decode_trace_traced, DecodePolicy, DecodeServeConfig,
+};
+use pit::serve::{serve_trace_arrivals_observed, AdmissionMode, BatchPolicy, ServeConfig};
+use pit::trace::{
+    parse_exposition, HubConfig, JsonValue, MetricsHub, ScrapeServer, SloTarget, TraceSink,
+};
+use pit::workloads::{ArrivalTrace, DatasetSpec, DecodeSpec, DecodeTrace};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A 2-layer OPT keeps the analytic per-step pass fast in CI.
+fn small_decode_cfg(token_budget: usize) -> DecodeServeConfig {
+    let mut model = ModelConfig::opt("1.3B");
+    model.layers = 2;
+    DecodeServeConfig::builder(model, DeviceSpec::a100_80gb())
+        .policy(DecodePolicy::ContinuousPaddingFree { token_budget })
+        .build()
+        .expect("valid test config")
+}
+
+fn decode_trace(n: usize) -> DecodeTrace {
+    DecodeTrace::poisson(
+        &DatasetSpec::mnli(),
+        &DecodeSpec::geometric(24.0, 1, 96),
+        n,
+        400.0,
+        31,
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect scrape endpoint");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read");
+    let (head, body) = out.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{path}: {head}");
+    body.to_string()
+}
+
+/// Every counter sample in a parsed `/metrics` body, keyed by family +
+/// suffix + labels so labelled families compare sample-by-sample.
+fn counter_values(body: &str) -> BTreeMap<String, f64> {
+    let expo = parse_exposition(body).expect("scrape parses");
+    let mut out = BTreeMap::new();
+    for fam in expo.families() {
+        if fam.kind != pit::trace::MetricKind::Counter {
+            continue;
+        }
+        for s in &fam.samples {
+            let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.insert(
+                format!("{}{}{{{}}}", fam.name, s.suffix, labels.join(",")),
+                s.value,
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn hub_and_concurrent_scrapers_leave_the_report_byte_identical() {
+    let cfg = small_decode_cfg(128);
+    let trace = decode_trace(48);
+
+    // Reference: hub-free traced run.
+    let sink = TraceSink::enabled();
+    let free = simulate_decode_trace_traced(&cfg, &trace, &sink);
+
+    // Hubbed run with a live endpoint being hammered from two threads
+    // for the whole duration of the replay.
+    let hub = Arc::new(MetricsHub::new(HubConfig {
+        window_s: 0.25,
+        ring_capacity: 64,
+        slo: Some(SloTarget {
+            ttft_s: 0.5,
+            itl_s: 0.05,
+            objective: 0.99,
+        }),
+        drift: None,
+    }));
+    let server = ScrapeServer::bind(hub.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let hubbed = std::thread::scope(|s| {
+        for path in ["/metrics", "/slo", "/series"] {
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let body = get(addr, path);
+                    match path {
+                        "/metrics" => {
+                            parse_exposition(&body).expect("mid-run scrape parses");
+                        }
+                        _ => {
+                            JsonValue::parse(&body).expect("mid-run JSON parses");
+                        }
+                    }
+                }
+            });
+        }
+        let hub_sink = TraceSink::enabled();
+        let (hubbed, _) = simulate_decode_trace_observed(&cfg, &trace, &hub_sink, 0, Some(&hub));
+        stop.store(true, Ordering::Relaxed);
+        hubbed
+    });
+    let served = server.shutdown();
+    assert!(served > 0, "scrapers reached the endpoint");
+    assert_eq!(
+        hubbed.to_json(),
+        free.to_json(),
+        "hub + concurrent scrapers must not change the report by one byte"
+    );
+}
+
+#[test]
+fn scrapes_round_trip_and_counters_never_decrease() {
+    let cfg = small_decode_cfg(96);
+    let trace = decode_trace(64);
+    let hub = Arc::new(MetricsHub::with_defaults());
+    let server = ScrapeServer::bind(hub.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let scrapes = std::thread::scope(|s| {
+        let scraper = s.spawn(move || {
+            let mut bodies = Vec::new();
+            // Keep scraping until the run completes (a fast replay may
+            // finish before the first scrape), then take two more —
+            // counters must hold steady across post-run scrapes too.
+            let mut after_done = 0;
+            while after_done < 3 {
+                let body = get(addr, "/metrics");
+                // Match the sample line, not the HELP line (whose text
+                // also starts with "1").
+                if body.contains("\npit_hub_run_complete 1\n") {
+                    after_done += 1;
+                }
+                bodies.push(body);
+                assert!(
+                    JsonValue::parse(&get(addr, "/slo")).is_ok(),
+                    "/slo parses mid-run"
+                );
+                assert!(
+                    JsonValue::parse(&get(addr, "/series")).is_ok(),
+                    "/series parses mid-run"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            bodies
+        });
+        let sink = TraceSink::disabled();
+        simulate_decode_trace_observed(&cfg, &trace, &sink, 0, Some(&hub));
+        scraper.join().expect("scraper panicked")
+    });
+    server.shutdown();
+
+    assert!(
+        scrapes.len() >= 2,
+        "at least an in-flight and a final scrape"
+    );
+    let mut prev: Option<BTreeMap<String, f64>> = None;
+    for body in &scrapes {
+        // render ∘ parse is the identity on every served body.
+        let expo = parse_exposition(body).expect("scrape parses");
+        assert_eq!(&expo.render(), body, "scrape round-trips");
+        let cur = counter_values(body);
+        if let Some(prev) = prev.as_ref() {
+            for (k, v) in prev {
+                let now = cur
+                    .get(k)
+                    .unwrap_or_else(|| panic!("counter {k} disappeared between scrapes"));
+                assert!(now >= v, "counter {k} went backwards: {v} -> {now}");
+            }
+        }
+        prev = Some(cur);
+    }
+    let last = prev.expect("at least one scrape");
+    assert_eq!(
+        last.get("pit_hub_finished_total{}").copied(),
+        Some(trace.len() as f64),
+        "every request finished in the final scrape"
+    );
+}
+
+#[test]
+fn threaded_runtime_publishes_consistent_hub_totals() {
+    let mut cfg = ServeConfig::new(BatchPolicy::PaddingFree { token_budget: 1024 });
+    cfg.model.layers = 2;
+    cfg.admission = AdmissionMode::Block;
+    // High rate so the replay finishes quickly in CI.
+    let trace = ArrivalTrace::poisson(&DatasetSpec::mnli(), 48, 2000.0, 29);
+    let hub = Arc::new(MetricsHub::with_defaults());
+    let report = serve_trace_arrivals_observed(&cfg, &trace, Some(&hub));
+    assert_eq!(report.requests, trace.len());
+
+    let body = hub.render();
+    let expo = parse_exposition(&body).expect("hub renders a valid exposition");
+    assert_eq!(expo.render(), body);
+    let counters = counter_values(&body);
+    assert_eq!(
+        counters.get("pit_hub_admitted_total{}").copied(),
+        Some(trace.len() as f64),
+        "submitter published every admission"
+    );
+    assert_eq!(
+        counters.get("pit_hub_finished_total{}").copied(),
+        Some(report.requests as f64),
+        "workers published every completion"
+    );
+    assert_eq!(
+        counters.get("pit_hub_batch_real_tokens_total{}").copied(),
+        Some(report.real_tokens as f64),
+        "hub token counter agrees with the report"
+    );
+    assert_eq!(counters.get("pit_hub_rejected_total{}").copied(), None);
+    // The whole-run gauge block marks the run complete (sample line,
+    // not the HELP line).
+    assert!(
+        body.contains("\npit_hub_run_complete 1\n"),
+        "finish() sealed the run"
+    );
+}

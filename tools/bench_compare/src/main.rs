@@ -219,8 +219,12 @@ fn main() -> ExitCode {
     };
 
     let mut diffs: Vec<Diff> = Vec::new();
-    let mut only_old = 0usize;
-    let mut only_new = 0usize;
+    // Metric paths present in only one document: removed (only in old)
+    // or added (only in new). These are reported by name — a renamed or
+    // dropped metric is a schema change, not something to diff silently
+    // around.
+    let mut removed: Vec<String> = Vec::new();
+    let mut added: Vec<String> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < old.len() || j < new.len() {
         match (old.get(i), new.get(j)) {
@@ -238,24 +242,25 @@ fn main() -> ExitCode {
             }
             (Some((po, _)), Some((pn, _))) => {
                 if po < pn {
-                    only_old += 1;
+                    removed.push(po.clone());
                     i += 1;
                 } else {
-                    only_new += 1;
+                    added.push(pn.clone());
                     j += 1;
                 }
             }
-            (Some(_), None) => {
-                only_old += 1;
+            (Some((po, _)), None) => {
+                removed.push(po.clone());
                 i += 1;
             }
-            (None, Some(_)) => {
-                only_new += 1;
+            (None, Some((pn, _))) => {
+                added.push(pn.clone());
                 j += 1;
             }
             (None, None) => unreachable!(),
         }
     }
+    let (only_old, only_new) = (removed.len(), added.len());
 
     let mut notable: Vec<&Diff> = diffs.iter().filter(|d| d.rel.abs() >= threshold).collect();
     notable.sort_by(|a, b| b.rel.abs().total_cmp(&a.rel.abs()));
@@ -277,8 +282,19 @@ fn main() -> ExitCode {
         out.push_str(&format!(
             "\"old\":\"{old_path}\",\"new\":\"{new_path}\",\"threshold\":{threshold},\
              \"shared_metrics\":{},\"only_old\":{only_old},\"only_new\":{only_new},\
+             \"removed\":[{}],\"added\":[{}],\
              \"regressions\":{regressions},\"notable\":[",
             diffs.len(),
+            removed
+                .iter()
+                .map(|p| format!("\"{p}\""))
+                .collect::<Vec<_>>()
+                .join(","),
+            added
+                .iter()
+                .map(|p| format!("\"{p}\""))
+                .collect::<Vec<_>>()
+                .join(","),
         ));
         for (i, d) in notable.iter().enumerate() {
             if i > 0 {
@@ -327,6 +343,18 @@ fn main() -> ExitCode {
     }
     if notable.is_empty() {
         println!("  no metric moved beyond the threshold");
+    }
+    for (label, paths) in [
+        ("removed (only in old)", &removed),
+        ("added (only in new)", &added),
+    ] {
+        if paths.is_empty() {
+            continue;
+        }
+        println!("  {label}:");
+        for p in paths {
+            println!("    {p}");
+        }
     }
     println!(
         "summary: {} regressions / {} improvements / {} neutral changes",

@@ -1,247 +1,38 @@
 //! Explains where a serving run's time went.
 //!
-//! `trace_explain FILE...` reads either a Chrome `TRACE_*.json` export
-//! (top-level JSON array, as written by the examples) or a
-//! `BENCH_*.json` report (top-level object carrying `blame` summaries)
-//! and prints a per-percentile top-cause table: for each latency
-//! percentile, which causal category dominates the requests at or above
-//! it. Trace mode re-derives attribution from the rendered gap
-//! segments — the same exact-tiling discipline as `pit_trace::blame` —
-//! so the table agrees with the report's `pit_blame_*` exposition.
+//! `trace_explain FILE...` reads a Chrome `TRACE_*.json` export, a
+//! `BENCH_*.json` report or a `METRICS_*.prom` Prometheus exposition
+//! (including bodies scraped from `pit_trace::ScrapeServer`'s
+//! `/metrics`) and prints blame/latency tables — see the library crate
+//! for the per-format details.
+//!
+//! `trace_explain --check FILE...` validates instead of explaining:
+//! each file must parse as JSON or round-trip through
+//! `pit_trace::parse_exposition`; one `<path>: ok` line per file.
 //!
 //! Exit code is 0 when every input parsed and carried something to
-//! explain, 1 otherwise (missing file, bad JSON, no blame data).
+//! explain (or validate), 1 otherwise.
 
-use pit_trace::JsonValue;
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// The latency percentiles each table reports, highest last.
-const PERCENTILES: [f64; 5] = [0.50, 0.90, 0.95, 0.99, 1.00];
-
-fn field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-/// One sequence lane reconstructed from a Chrome trace: per-cause
-/// seconds (gap segments) summing exactly to its end-to-end span.
-#[derive(Default)]
-struct Lane {
-    by_cause: BTreeMap<String, f64>,
-}
-
-impl Lane {
-    fn e2e_s(&self) -> f64 {
-        self.by_cause.values().sum()
-    }
-}
-
-/// Nearest-rank quantile of an ascending-sorted slice.
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
-/// Prints one percentile × top-cause table from per-request cause maps.
-/// Each row aggregates the requests at or above that percentile's
-/// latency — the population whose tail the row explains.
-fn print_cause_table(label: &str, lanes: &[Lane]) {
-    let mut e2es: Vec<f64> = lanes.iter().map(Lane::e2e_s).collect();
-    e2es.sort_by(f64::total_cmp);
-    println!("  {label} ({} requests):", lanes.len());
-    println!(
-        "    {:<6} {:>10}  {:<24} {:>6}  {:<24} {:>6}",
-        "pct", "e2e_ms", "top cause", "share", "runner-up", "share"
-    );
-    for &q in &PERCENTILES {
-        let cut = quantile(&e2es, q);
-        let mut tail: BTreeMap<&str, f64> = BTreeMap::new();
-        let mut total = 0.0;
-        for lane in lanes.iter().filter(|l| l.e2e_s() >= cut) {
-            for (cause, &s) in &lane.by_cause {
-                *tail.entry(cause.as_str()).or_default() += s;
-                total += s;
-            }
-        }
-        // Deterministic order: seconds descending, then name.
-        let mut ranked: Vec<(&str, f64)> = tail.into_iter().collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
-        let share = |s: f64| {
-            if total > 0.0 {
-                format!("{:>5.1}%", 100.0 * s / total)
-            } else {
-                "    -".to_string()
-            }
-        };
-        let top = ranked.first().copied().unwrap_or(("-", 0.0));
-        let second = ranked.get(1).copied().unwrap_or(("-", 0.0));
-        let pct = if q >= 1.0 {
-            "max".to_string()
-        } else {
-            format!("p{:.0}", q * 100.0)
-        };
-        println!(
-            "    {:<6} {:>10.2}  {:<24} {:>6}  {:<24} {:>6}",
-            pct,
-            cut * 1e3,
-            top.0,
-            share(top.1),
-            second.0,
-            share(second.1),
-        );
-    }
-}
-
-/// Explains a Chrome `TRACE_*.json` array: rebuilds each sequence
-/// lane's per-cause seconds from its gap segments (pid 1, tids past the
-/// fixed device/link lanes; exemplar lanes on other pids are the same
-/// requests re-rendered, so they are skipped).
-fn explain_trace(path: &str, events: &[JsonValue]) -> Result<(), String> {
-    const TID_SEQ_BASE: f64 = 3.0;
-    let mut lanes: BTreeMap<u64, Lane> = BTreeMap::new();
-    let mut steps = 0usize;
-    let mut device_s = 0.0_f64;
-    for ev in events {
-        let obj = ev.as_object().ok_or("event is not an object")?;
-        let ph = field(obj, "ph").and_then(JsonValue::as_str).unwrap_or("");
-        if ph != "X" {
-            continue;
-        }
-        let pid = field(obj, "pid").and_then(JsonValue::as_f64).unwrap_or(0.0);
-        let tid = field(obj, "tid").and_then(JsonValue::as_f64).unwrap_or(0.0);
-        let name = field(obj, "name").and_then(JsonValue::as_str).unwrap_or("");
-        let dur_s = field(obj, "dur").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1e6;
-        if pid != 1.0 {
-            continue;
-        }
-        if tid == 0.0 && name == "step" {
-            steps += 1;
-            device_s += dur_s;
-            continue;
-        }
-        if tid < TID_SEQ_BASE {
-            continue; // link lanes: transfers, not request wait time
-        }
-        *lanes
-            .entry(tid as u64)
-            .or_default()
-            .by_cause
-            .entry(name.to_string())
-            .or_default() += dur_s;
-    }
-    if lanes.is_empty() {
-        return Err("no sequence-lane segments found".to_string());
-    }
-    println!(
-        "{path}: {} requests, {steps} device steps ({:.1} ms busy)",
-        lanes.len(),
-        device_s * 1e3
-    );
-    let lanes: Vec<Lane> = lanes.into_values().collect();
-    print_cause_table("e2e by percentile", &lanes);
-    Ok(())
-}
-
-/// Recursively collects every `blame` summary object in a report,
-/// remembering the dotted path it sits at.
-fn find_blame<'a>(
-    prefix: &str,
-    v: &'a JsonValue,
-    out: &mut Vec<(String, &'a [(String, JsonValue)])>,
-) {
-    if let Some(obj) = v.as_object() {
-        for (k, child) in obj {
-            let path = if prefix.is_empty() {
-                k.clone()
-            } else {
-                format!("{prefix}.{k}")
-            };
-            if k == "blame" {
-                if let Some(b) = child.as_object() {
-                    if field(b, "causes").is_some() {
-                        out.push((path.clone(), b));
-                    }
-                }
-            }
-            find_blame(&path, child, out);
-        }
-    } else if let Some(arr) = v.as_array() {
-        for (i, child) in arr.iter().enumerate() {
-            find_blame(&format!("{prefix}[{i}]"), child, out);
-        }
-    }
-}
-
-/// Explains a `BENCH_*.json` report: prints each embedded blame
-/// summary's cause table (shares and sketch percentiles straight from
-/// the report — no re-derivation).
-fn explain_report(path: &str, root: &JsonValue) -> Result<(), String> {
-    let mut blames = Vec::new();
-    find_blame("", root, &mut blames);
-    if blames.is_empty() {
-        return Err("no blame summaries found (run with tracing enabled)".to_string());
-    }
-    println!(
-        "{path}: {} blame summar{}",
-        blames.len(),
-        if blames.len() == 1 { "y" } else { "ies" }
-    );
-    for (at, b) in blames {
-        let requests = field(b, "requests")
-            .and_then(JsonValue::as_f64)
-            .unwrap_or(0.0);
-        let e2e_total = field(b, "e2e_total_s")
-            .and_then(JsonValue::as_f64)
-            .unwrap_or(0.0);
-        println!(
-            "  {at}: {requests:.0} finished, {:.1} ms total end-to-end",
-            e2e_total * 1e3
-        );
-        println!(
-            "    {:<24} {:>6} {:>6}  {:>10} {:>10} {:>10}",
-            "cause", "e2e%", "ttft%", "p50_ms", "p95_ms", "p99_ms"
-        );
-        let causes = field(b, "causes")
-            .and_then(JsonValue::as_array)
-            .unwrap_or(&[]);
-        for c in causes {
-            let Some(c) = c.as_object() else { continue };
-            let get = |k: &str| field(c, k).and_then(JsonValue::as_f64).unwrap_or(0.0);
-            println!(
-                "    {:<24} {:>5.1}% {:>5.1}%  {:>10.2} {:>10.2} {:>10.2}",
-                field(c, "cause").and_then(JsonValue::as_str).unwrap_or("?"),
-                100.0 * get("e2e_share"),
-                100.0 * get("ttft_share"),
-                get("p50_s") * 1e3,
-                get("p95_s") * 1e3,
-                get("p99_s") * 1e3,
-            );
-        }
-    }
-    Ok(())
-}
-
-fn explain(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-    let root = JsonValue::parse(&text).map_err(|e| format!("parse failed: {e}"))?;
-    match root.as_array() {
-        Some(events) => explain_trace(path, events),
-        None => explain_report(path, &root),
-    }
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let check_mode = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
     if args.is_empty() {
-        eprintln!("usage: trace_explain <TRACE_*.json | BENCH_*.json>...");
+        eprintln!(
+            "usage: trace_explain [--check] <TRACE_*.json | BENCH_*.json | METRICS_*.prom>..."
+        );
         return ExitCode::FAILURE;
     }
     let mut ok = true;
     for path in &args {
-        if let Err(e) = explain(path) {
+        let result = if check_mode {
+            trace_explain::check(path)
+        } else {
+            trace_explain::explain(path)
+        };
+        if let Err(e) = result {
             eprintln!("{path}: {e}");
             ok = false;
         }
